@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table/figure of the paper and prints the
+rows the figure reports.  Output goes straight to the real stdout so it
+is visible even under pytest's capture.
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def report(capfd):
+    """Print paper-style rows, bypassing pytest output capture."""
+
+    def _report(text):
+        with capfd.disabled():
+            print(text, file=sys.__stdout__, flush=True)
+
+    _report("")  # newline after pytest's progress dots
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment exactly once (they are deterministic)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Ablation: measurement source for goal-directed adaptation.
+
+The paper's prototype used external multimeter hardware sampling every
+100 ms and anticipated deployment on SmartBattery-class on-board gauges
+(Section 5.1.1).  This ablation quantifies what the coarser source
+costs: the on-line PowerScope monitor vs gauges of decreasing quality.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments import (
+    derive_goals,
+    fidelity_runtime_bounds,
+    run_goal_experiment,
+)
+from repro.powerscope import SmartBatteryGauge
+
+INITIAL_ENERGY = 8_000.0
+
+VARIANTS = {
+    "multimeter (100 ms, exact)": None,
+    "gauge 1 s / 0.25 W": dict(period=1.0, resolution_w=0.25),
+    "gauge 2 s / 0.5 W": dict(period=2.0, resolution_w=0.5),
+    "gauge 5 s / 1.0 W": dict(period=5.0, resolution_w=1.0),
+}
+
+
+def sweep():
+    t_hi, t_lo = fidelity_runtime_bounds(INITIAL_ENERGY)
+    goals = derive_goals(t_hi, t_lo, count=3)
+    table = {}
+    for label, gauge_kwargs in VARIANTS.items():
+        factory = None
+        if gauge_kwargs is not None:
+            factory = lambda machine, kw=gauge_kwargs: SmartBatteryGauge(
+                machine, **kw
+            )
+        table[label] = [
+            run_goal_experiment(
+                goal, initial_energy=INITIAL_ENERGY, monitor_factory=factory
+            )
+            for goal in goals
+        ]
+    return goals, table
+
+
+def test_ablation_gauge(benchmark, report):
+    goals, table = run_once(benchmark, sweep)
+
+    rows = []
+    for label, results in table.items():
+        met = sum(r.goal_met for r in results)
+        worst = min(r.survived_seconds / r.goal_seconds for r in results)
+        adaptations = sum(r.total_adaptations for r in results) / len(results)
+        rows.append([
+            label, f"{met}/{len(results)}", f"{worst:.3f}", f"{adaptations:.0f}",
+        ])
+    report(render_table(
+        ["Measurement source", "Goals met", "Worst survival", "Adaptations"],
+        rows,
+        title="Ablation — power measurement source "
+              "(paper §5.1.1: deployment would use SmartBattery gauges)",
+    ))
+
+    exact = table["multimeter (100 ms, exact)"]
+    assert all(r.goal_met for r in exact)
+    # Every gauge keeps survival within 2% of the goal even when a
+    # tight goal slips.
+    for label, results in table.items():
+        for result in results:
+            assert result.survived_seconds >= 0.98 * result.goal_seconds, label

@@ -1,0 +1,59 @@
+"""Ablation: the two hysteresis components (Section 5.1.3).
+
+The trigger's upgrade margin is 5% of residual energy (variable) plus
+1% of initial energy (constant).  Removing both should produce visibly
+more fidelity oscillation for the same goal; the goal should still be
+met (degradation is unaffected), but the user experience is choppier.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments import (
+    derive_goals,
+    fidelity_runtime_bounds,
+    run_goal_experiment,
+)
+
+INITIAL_ENERGY = 8_000.0
+
+VARIANTS = {
+    "paper (5% var + 1% const)": {},
+    "no variable component": {"variable_fraction": 0.0},
+    "no constant component": {"constant_fraction": 0.0},
+    "no hysteresis at all": {"variable_fraction": 0.0, "constant_fraction": 0.0},
+}
+
+
+def sweep():
+    t_hi, t_lo = fidelity_runtime_bounds(INITIAL_ENERGY)
+    goal = derive_goals(t_hi, t_lo, count=3)[1]
+    return {
+        label: run_goal_experiment(goal, initial_energy=INITIAL_ENERGY, **kwargs)
+        for label, kwargs in VARIANTS.items()
+    }
+
+
+def test_ablation_hysteresis(benchmark, report):
+    results = run_once(benchmark, sweep)
+
+    rows = [
+        [
+            label,
+            "Yes" if result.goal_met else "No",
+            f"{result.residual_energy:.0f}",
+            str(result.total_adaptations),
+        ]
+        for label, result in results.items()
+    ]
+    report(render_table(
+        ["Variant", "Goal met", "Residue (J)", "Adaptations"],
+        rows,
+        title="Ablation — hysteresis components",
+    ))
+
+    paper = results["paper (5% var + 1% const)"]
+    none = results["no hysteresis at all"]
+    assert paper.goal_met
+    # Without hysteresis the system oscillates: strictly more upcalls.
+    assert none.total_adaptations > paper.total_adaptations

@@ -1,0 +1,99 @@
+"""Ablation: memory pressure under concurrency (paper §3.7 caveat).
+
+The paper notes concurrency *can* increase energy "if physical memory
+size is inadequate to accommodate the working sets of two
+applications".  Its testbed's 64 MB always sufficed, so the effect was
+never measured; this ablation sweeps physical memory size for a fixed
+two-application compute workload and shows the crossover from
+amortization-wins to thrashing-loses.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.hardware import MemorySystem, build_machine
+from repro.sim import Simulator
+
+WORKING_SET_MB = 40.0  # per application
+WORK_S = 4.0           # compute per application
+
+
+def run_pair(capacity_mb, concurrent):
+    sim = Simulator()
+    machine = build_machine(sim)
+    # A steep fault coefficient models two working sets evicting each
+    # other's pages (thrashing), not a single well-behaved overrun.
+    memory = MemorySystem(
+        machine, capacity_mb=capacity_mb, fault_fraction_per_pressure=1.2
+    )
+
+    if concurrent:
+        memory.declare("a", WORKING_SET_MB)
+        memory.declare("b", WORKING_SET_MB)
+
+        def worker(tag):
+            yield from memory.compute(WORK_S, tag)
+
+        pa = sim.spawn(worker("a"))
+        pb = sim.spawn(worker("b"))
+        while pa.alive or pb.alive:
+            sim.step()
+    else:
+        def session():
+            for tag in ("a", "b"):
+                memory.declare(tag, WORKING_SET_MB)
+                yield from memory.compute(WORK_S, tag)
+                memory.release(tag)
+
+        proc = sim.spawn(session())
+        while proc.alive:
+            sim.step()
+    machine.advance()
+    return machine.energy_total, memory.faults
+
+
+def sweep():
+    table = {}
+    for capacity in (96.0, 64.0, 48.0):
+        seq_energy, _ = run_pair(capacity, concurrent=False)
+        conc_energy, faults = run_pair(capacity, concurrent=True)
+        table[capacity] = {
+            "sequential": seq_energy,
+            "concurrent": conc_energy,
+            "faults": faults,
+        }
+    return table
+
+
+def test_ablation_memory(benchmark, report):
+    table = run_once(benchmark, sweep)
+
+    rows = []
+    for capacity, m in table.items():
+        ratio = m["concurrent"] / m["sequential"]
+        rows.append([
+            f"{capacity:.0f} MB",
+            f"{m['sequential']:.0f}",
+            f"{m['concurrent']:.0f}",
+            f"{ratio:.2f}",
+            str(m["faults"]),
+        ])
+    report(render_table(
+        ["Physical memory", "Sequential (J)", "Concurrent (J)",
+         "Conc/Seq", "Faults"],
+        rows,
+        title="Ablation — §3.7 memory-pressure caveat "
+              "(two 40 MB working sets, 4 s compute each)",
+    ))
+
+    # Ample memory: concurrency is harmless for this pure-compute pair.
+    roomy = table[96.0]
+    assert roomy["concurrent"] == pytest.approx(
+        roomy["sequential"], rel=0.02
+    )
+    assert roomy["faults"] == 0
+    # Inadequate memory: thrashing makes concurrency strictly worse.
+    tight = table[48.0]
+    assert tight["concurrent"] > tight["sequential"] * 1.1
+    assert tight["faults"] > 0

@@ -1,0 +1,62 @@
+"""Ablation: the demand-prediction strategy (Section 5.1.2).
+
+The paper smooths power with a goal-relative half-life.  Compare that
+against two degenerate predictors expressible in the same framework:
+an (almost) last-sample predictor (tiny half-life — maximum agility,
+no stability) and a near-global-mean predictor (huge half-life —
+maximum stability, no agility).  The paper's middle ground should
+adapt less than the last-sample variant while still meeting the goal.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments import (
+    derive_goals,
+    fidelity_runtime_bounds,
+    run_goal_experiment,
+)
+
+INITIAL_ENERGY = 8_000.0
+
+VARIANTS = {
+    "last-sample (half-life 0.1%)": 0.001,
+    "paper (half-life 10%)": 0.10,
+    "global-mean (half-life 500%)": 5.0,
+}
+
+
+def sweep():
+    t_hi, t_lo = fidelity_runtime_bounds(INITIAL_ENERGY)
+    goal = derive_goals(t_hi, t_lo, count=3)[1]
+    return {
+        label: run_goal_experiment(
+            goal, initial_energy=INITIAL_ENERGY, halflife_fraction=fraction
+        )
+        for label, fraction in VARIANTS.items()
+    }
+
+
+def test_ablation_predictor(benchmark, report):
+    results = run_once(benchmark, sweep)
+
+    rows = [
+        [
+            label,
+            "Yes" if result.goal_met else "No",
+            f"{result.residual_energy:.0f}",
+            str(result.total_adaptations),
+        ]
+        for label, result in results.items()
+    ]
+    report(render_table(
+        ["Predictor", "Goal met", "Residue (J)", "Adaptations"],
+        rows,
+        title="Ablation — demand-prediction smoothing strategy",
+    ))
+
+    paper = results["paper (half-life 10%)"]
+    last = results["last-sample (half-life 0.1%)"]
+    assert paper.goal_met
+    # The last-sample predictor chases transients: more adaptations.
+    assert last.total_adaptations > paper.total_adaptations

@@ -1,0 +1,61 @@
+"""Ablation: the 15-second cap on fidelity improvements (Section 5.1.3).
+
+Odyssey caps upgrades at one per 15 s as a guard against excessive
+adaptation on energy transients.  Removing the cap should increase the
+number of adaptations (upgrades fire on every favorable decision, then
+bounce back down); the goal should still be met.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments import (
+    derive_goals,
+    fidelity_runtime_bounds,
+    run_goal_experiment,
+)
+
+INITIAL_ENERGY = 8_000.0
+
+VARIANTS = {
+    "paper (15 s cap)": 15.0,
+    "5 s cap": 5.0,
+    "no cap": 0.0,
+}
+
+
+def sweep():
+    t_hi, t_lo = fidelity_runtime_bounds(INITIAL_ENERGY)
+    goal = derive_goals(t_hi, t_lo, count=3)[1]
+    return {
+        label: run_goal_experiment(
+            goal, initial_energy=INITIAL_ENERGY, upgrade_min_interval=interval
+        )
+        for label, interval in VARIANTS.items()
+    }
+
+
+def test_ablation_rate_cap(benchmark, report):
+    results = run_once(benchmark, sweep)
+
+    rows = [
+        [
+            label,
+            "Yes" if result.goal_met else "No",
+            f"{result.residual_energy:.0f}",
+            str(result.total_adaptations),
+        ]
+        for label, result in results.items()
+    ]
+    report(render_table(
+        ["Variant", "Goal met", "Residue (J)", "Adaptations"],
+        rows,
+        title="Ablation — fidelity-improvement rate cap",
+    ))
+
+    assert results["paper (15 s cap)"].goal_met
+    # Removing the cap never *reduces* adaptation churn.
+    assert (
+        results["no cap"].total_adaptations
+        >= results["paper (15 s cap)"].total_adaptations
+    )

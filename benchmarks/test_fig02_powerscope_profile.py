@@ -1,0 +1,37 @@
+"""Figure 2: an example PowerScope energy profile.
+
+Profiles a segment of Odyssey video playback at ~600 Hz and prints the
+two tables of the paper's Figure 2: per-process summary and the
+per-procedure detail for one process.
+"""
+
+from conftest import run_once
+
+from repro.experiments import build_rig
+from repro.powerscope import profile_run, render_profile
+from repro.workloads.videos import VideoClip
+
+
+def profile_video_playback():
+    rig = build_rig(pm_enabled=False)
+    clip = VideoClip("profiled-clip", 20.0, 12.0, 16_250)
+    player = rig.apps["video"]
+    rig.sim.spawn(player.play(clip), name="xanim")
+    profile = profile_run(rig.machine, until=clip.duration_s, rate_hz=600.0)
+    return rig, profile
+
+
+def test_fig02_powerscope_profile(benchmark, report):
+    rig, profile = run_once(benchmark, profile_video_playback)
+
+    report("Figure 2 — PowerScope energy profile of video playback")
+    report(render_profile(profile, detail_process="xanim"))
+
+    # Profile integrity: ~600 samples/s, energy matches ground truth.
+    assert profile.sample_count == int(20.0 * 600)
+    assert abs(profile.total_energy - rig.machine.energy_total) < (
+        0.02 * rig.machine.energy_total
+    )
+    # The paper's headline processes all appear.
+    for process in ("Idle", "xanim", "X", "odyssey", "Interrupts-WaveLAN"):
+        assert profile.energy_of(process) > 0, process

@@ -1,0 +1,56 @@
+"""Figure 11: effect of user think time for map viewing.
+
+Energy for the San Jose map at think times 0/5/10/20 s for three cases
+(baseline, hardware-only PM, lowest fidelity), with the linear model
+``E_t = E_0 + t * P_B`` fitted to each — the paper reports the model
+fits well, with diverging baseline/PM lines and parallel PM/lowest
+lines.
+"""
+
+from conftest import run_once
+
+from repro.analysis import fit_linear, render_table
+from repro.experiments import measure_map
+from repro.workloads import THINK_SWEEP_S, map_by_name
+
+CASES = ("baseline", "hw-only", "crop-secondary")
+
+
+def sweep_think_times():
+    city = map_by_name("san-jose")
+    table = {}
+    for config in CASES:
+        energies = [
+            measure_map(city, config, think_time_s=t) for t in THINK_SWEEP_S
+        ]
+        table[config] = (energies, fit_linear(THINK_SWEEP_S, energies))
+    return table
+
+
+def test_fig11_map_thinktime(benchmark, report):
+    table = run_once(benchmark, sweep_think_times)
+
+    rows = []
+    for config, (energies, fit) in table.items():
+        rows.append(
+            [config]
+            + [f"{e:.1f}" for e in energies]
+            + [f"{fit.intercept:.1f}", f"{fit.slope:.2f}", f"{fit.r_squared:.5f}"]
+        )
+    report(render_table(
+        ["Case (J)"] + [f"t={t:.0f}s" for t in THINK_SWEEP_S]
+        + ["E0 (J)", "PB (W)", "R^2"],
+        rows,
+        title="Figure 11 — map energy vs think time (San Jose)",
+    ))
+
+    fits = {config: fit for config, (_e, fit) in table.items()}
+    # Linear model is a good fit for all three cases.
+    for config, fit in fits.items():
+        assert fit.r_squared > 0.999, config
+    # Diverging lines: baseline slope exceeds the PM slope.
+    assert fits["baseline"].slope > fits["hw-only"].slope
+    # Parallel lines: fidelity reduction is think-time independent.
+    assert abs(fits["hw-only"].slope - fits["crop-secondary"].slope) < 0.1
+    # The PM think-time slope is the client's background power.
+    assert 7.0 < fits["hw-only"].slope < 9.5

@@ -1,0 +1,55 @@
+"""Figure 14: effect of user think time for Web browsing.
+
+Energy for Image 1 at think times 0/5/10/20 s in three cases, with the
+Section 3.5 linear model fitted to each.  The paper notes the close
+spacing of the PM and lowest-fidelity lines — the small benefit of Web
+fidelity reduction — and the divergence of the baseline line.
+"""
+
+from conftest import run_once
+
+from repro.analysis import fit_linear, render_table
+from repro.experiments import measure_web
+from repro.workloads import THINK_SWEEP_S, image_by_name
+
+CASES = ("baseline", "hw-only", "jpeg-5")
+
+
+def sweep_think_times():
+    image = image_by_name("image-1")
+    table = {}
+    for config in CASES:
+        energies = [
+            measure_web(image, config, think_time_s=t) for t in THINK_SWEEP_S
+        ]
+        table[config] = (energies, fit_linear(THINK_SWEEP_S, energies))
+    return table
+
+
+def test_fig14_web_thinktime(benchmark, report):
+    table = run_once(benchmark, sweep_think_times)
+
+    rows = []
+    for config, (energies, fit) in table.items():
+        rows.append(
+            [config]
+            + [f"{e:.1f}" for e in energies]
+            + [f"{fit.intercept:.1f}", f"{fit.slope:.2f}", f"{fit.r_squared:.5f}"]
+        )
+    report(render_table(
+        ["Case (J)"] + [f"t={t:.0f}s" for t in THINK_SWEEP_S]
+        + ["E0 (J)", "PB (W)", "R^2"],
+        rows,
+        title="Figure 14 — Web energy vs think time (Image 1)",
+    ))
+
+    fits = {config: fit for config, (_e, fit) in table.items()}
+    for config, fit in fits.items():
+        assert fit.r_squared > 0.999, config
+    # Diverging baseline, near-identical PM and lowest-fidelity slopes.
+    assert fits["baseline"].slope > fits["hw-only"].slope
+    assert abs(fits["hw-only"].slope - fits["jpeg-5"].slope) < 0.1
+    # Close spacing of the two latter lines: small fidelity benefit.
+    gap_at_20 = fits["hw-only"].predict(20) - fits["jpeg-5"].predict(20)
+    base_gap = fits["baseline"].predict(20) - fits["hw-only"].predict(20)
+    assert gap_at_20 < base_gap

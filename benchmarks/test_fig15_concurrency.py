@@ -1,0 +1,68 @@
+"""Figure 15: effect of concurrent applications.
+
+The composite application (Section 3.7) runs in isolation and
+concurrently with the background video player, at baseline,
+hardware-only PM and lowest fidelity.  Five trials per cell.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table, summarize
+from repro.experiments import concurrency_table, trial_costs
+
+CONFIGS = ("baseline", "hw-only", "lowest-fidelity")
+
+
+def sweep(trials=5):
+    per_trial = [
+        concurrency_table(iterations=6, costs=trial_costs(t))
+        for t in range(trials)
+    ]
+    stats = {}
+    for config in CONFIGS:
+        stats[config] = {
+            mode: summarize([t[config][mode] for t in per_trial])
+            for mode in ("alone", "concurrent")
+        }
+    return stats
+
+
+def test_fig15_concurrency(benchmark, report):
+    stats = run_once(benchmark, sweep)
+
+    rows = []
+    for config in CONFIGS:
+        alone = stats[config]["alone"]
+        conc = stats[config]["concurrent"]
+        extra = conc.mean / alone.mean - 1
+        rows.append([config, f"{alone:.0f}", f"{conc:.0f}", f"+{extra:.0%}"])
+    report(render_table(
+        ["Config", "Alone (J)", "Concurrent (J)", "Video adds"],
+        rows,
+        title="Figure 15 — composite application with/without video "
+              "(paper adds: baseline +53%, hw-only +64%, lowest +18%)",
+    ))
+    iso_saving = 1 - (
+        stats["lowest-fidelity"]["alone"].mean / stats["hw-only"]["alone"].mean
+    )
+    conc_saving = 1 - (
+        stats["lowest-fidelity"]["concurrent"].mean
+        / stats["hw-only"]["concurrent"].mean
+    )
+    report(f"fidelity savings in isolation:   {iso_saving:.1%}")
+    report(f"fidelity savings under concurrency: {conc_saving:.1%}")
+
+    # Shape: concurrency adds energy but much less than doubling it.
+    for config in CONFIGS:
+        extra = (
+            stats[config]["concurrent"].mean / stats[config]["alone"].mean - 1
+        )
+        assert 0.0 < extra < 0.75, config
+    # Orderings hold under concurrency.
+    assert (
+        stats["lowest-fidelity"]["concurrent"].mean
+        < stats["hw-only"]["concurrent"].mean
+        < stats["baseline"]["concurrent"].mean
+    )
+    # Fidelity reduction remains strongly effective when concurrent.
+    assert conc_saving > 0.25

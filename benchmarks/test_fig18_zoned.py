@@ -1,0 +1,78 @@
+"""Figure 18: projected energy impact of zoned backlighting.
+
+Video and map energy with the stock display vs 4-zone (2x2) and 8-zone
+(2x4) zoned-backlight panels, at hardware-only power management and at
+lowest fidelity, normalized to the stock-display baseline — the paper's
+projection methodology (Section 4.2).
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments import measure_map_zoned, measure_video_zoned
+from repro.workloads import map_by_name
+from repro.workloads.videos import VideoClip
+
+ZONES = ("no-zones", "4-zones", "8-zones")
+
+
+def sweep():
+    clip = VideoClip("zoned-clip", 30.0, 12.0, 16_250)
+    city = map_by_name("allentown")
+    table = {"video": {}, "map": {}}
+    for config in ("hw-only", "combined"):
+        table["video"][config] = {
+            z: measure_video_zoned(clip, config, z) for z in ZONES
+        }
+    for config in ("hw-only", "crop-secondary"):
+        table["map"][config] = {
+            z: measure_map_zoned(city, config, z) for z in ZONES
+        }
+    return table
+
+
+def test_fig18_zoned(benchmark, report):
+    table = run_once(benchmark, sweep)
+
+    rows = []
+    for app, configs in table.items():
+        for config, by_zone in configs.items():
+            base = by_zone["no-zones"][0]
+            rows.append([
+                app, config,
+                f"{base:.0f}",
+                f"{by_zone['4-zones'][0] / base:.3f} ({by_zone['4-zones'][1]} lit)",
+                f"{by_zone['8-zones'][0] / base:.3f} ({by_zone['8-zones'][1]} lit)",
+            ])
+    report(render_table(
+        ["App", "Config", "No zones (J)", "4 zones (rel)", "8 zones (rel)"],
+        rows,
+        title="Figure 18 — zoned backlighting projection "
+              "(paper: video 17-18% @4z full fid; map 0% @4z full, "
+              "21-29% at lowest fidelity)",
+    ))
+
+    video = table["video"]
+    mp = table["map"]
+    # Video fits one 4-zone cell: substantial savings even at full fid.
+    v_hw = 1 - video["hw-only"]["4-zones"][0] / video["hw-only"]["no-zones"][0]
+    assert 0.10 < v_hw < 0.30
+    # 8 zones never worse than 4 zones.
+    for app, configs in table.items():
+        for config, by_zone in configs.items():
+            assert by_zone["8-zones"][0] <= by_zone["4-zones"][0] + 1e-6
+    # Full-fidelity map spans all 4 zones: no 4-zone benefit.
+    m_hw4 = 1 - mp["hw-only"]["4-zones"][0] / mp["hw-only"]["no-zones"][0]
+    assert abs(m_hw4) < 0.01
+    # Lowest fidelity unlocks zoned savings for the map.
+    m_low4 = (
+        1 - mp["crop-secondary"]["4-zones"][0]
+        / mp["crop-secondary"]["no-zones"][0]
+    )
+    assert m_low4 > 0.10
+    # Zone occupancy matches the paper's statements.
+    assert video["hw-only"]["4-zones"][1] == 1
+    assert video["hw-only"]["8-zones"][1] == 2
+    assert mp["hw-only"]["8-zones"][1] == 6
+    assert mp["crop-secondary"]["4-zones"][1] == 2
+    assert mp["crop-secondary"]["8-zones"][1] == 3

@@ -1,0 +1,74 @@
+"""Figure 20: summary of goal-directed adaptation.
+
+Four battery-duration goals spanning the workload's fidelity bounds
+(the paper's 1200/1320/1440/1560 s on a 12 kJ supply), five trials
+each.  Reports goal-met percentage, residual energy, and per-app
+adaptation counts — every goal should be met with a small residue.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table, summarize
+from repro.experiments import (
+    derive_goals,
+    fidelity_runtime_bounds,
+    run_goal_experiment,
+    trial_costs,
+)
+
+INITIAL_ENERGY = 12_000.0
+TRIALS = 5
+
+
+def sweep_goals():
+    t_hi, t_lo = fidelity_runtime_bounds(INITIAL_ENERGY)
+    goals = derive_goals(t_hi, t_lo, count=4)
+    table = {}
+    for goal in goals:
+        table[goal] = [
+            run_goal_experiment(
+                goal, initial_energy=INITIAL_ENERGY, costs=trial_costs(trial)
+            )
+            for trial in range(TRIALS)
+        ]
+    return (t_hi, t_lo), table
+
+
+def test_fig20_goal_summary(benchmark, report):
+    (t_hi, t_lo), table = run_once(benchmark, sweep_goals)
+
+    rows = []
+    for goal, results in table.items():
+        met = sum(r.goal_met for r in results) / len(results)
+        residue = summarize([r.residual_energy for r in results])
+        adaptations = summarize([r.total_adaptations for r in results])
+        rows.append([
+            f"{goal:.0f}", f"{met:.0%}", f"{residue:.0f}", f"{adaptations:.1f}",
+        ])
+    report(render_table(
+        ["Goal (s)", "Goal met", "Residue (J)", "Adaptations"],
+        rows,
+        title=(
+            f"Figure 20 — goal-directed adaptation on {INITIAL_ENERGY:.0f} J "
+            f"(bounds {t_hi:.0f}-{t_lo:.0f}s; paper goals 1200-1560s met 100%)"
+        ),
+    ))
+    per_app = {}
+    for results in table.values():
+        for result in results:
+            for app, count in result.adaptations.items():
+                per_app.setdefault(app, []).append(count)
+    report("adaptations by app (mean): " + ", ".join(
+        f"{app}={sum(v) / len(v):.1f}" for app, v in per_app.items()
+    ))
+
+    for goal, results in table.items():
+        met = sum(r.goal_met for r in results) / len(results)
+        assert met == 1.0, f"goal {goal:.0f}s met only {met:.0%}"
+        for result in results:
+            # Residue small: Odyssey is not over-conservative (paper:
+            # largest residue 1.2% of the initial energy).
+            assert result.residual_energy < 0.08 * INITIAL_ENERGY
+    # Battery-life extension achieved across the goal range.
+    goals = sorted(table)
+    assert goals[-1] / goals[0] > 1.08

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Scenario: the original Odyssey — video adapting to variable bandwidth.
+
+A client streams video over a wireless link whose quality varies (the
+paper's Section 2.2 example: "a client playing full-color video data
+from a server could switch to black and white video when bandwidth
+drops, rather than suffering lost frames").  The viceroy passively
+estimates bandwidth from observed traffic, the player registers a
+resource-expectation window, and upcalls re-fit the compression track
+as the link degrades and recovers.
+
+Run:  python examples/bandwidth_adaptation.py
+"""
+
+from repro.core import ExpectationMonitor, ExpectationRegistry
+from repro.experiments import build_rig
+from repro.net import BandwidthEstimator
+from repro.workloads.videos import VideoClip
+
+
+def main():
+    rig = build_rig(pm_enabled=True)
+    player = rig.apps["video"]
+    clip = VideoClip("newsfeed", 60.0, 12.0, 16_250)
+
+    estimator = BandwidthEstimator(rig.link, gain=0.5)
+    registry = ExpectationRegistry("bandwidth")
+    registry.register(
+        "video",
+        player.bandwidth_window(clip, player.fidelity),
+        player.bandwidth_upcall(clip),
+    )
+    monitor = ExpectationMonitor(
+        rig.sim, registry, lambda: estimator.estimate_bps, period=0.5
+    )
+    monitor.start()
+
+    # The link fades at t=15 s, collapses at t=30 s, recovers at t=45 s.
+    schedule = [(15.0, 1.3e6), (30.0, 0.8e6), (45.0, 2.0e6)]
+    for at, bps in schedule:
+        rig.sim.schedule(at, lambda _t, b=bps: rig.link.set_bandwidth(b))
+
+    transitions = []
+    original = player.set_fidelity
+
+    def tracking_set_fidelity(level):
+        transitions.append((rig.sim.now, level))
+        return original(level)
+
+    player.set_fidelity = tracking_set_fidelity
+
+    proc = rig.sim.spawn(player.play(clip))
+    rig.run_until_complete(proc)
+
+    print("Link schedule: 2.0 Mb/s -> 1.3 (t=15) -> 0.8 (t=30) -> 2.0 (t=45)")
+    print(f"\nfidelity transitions ({len(transitions)}):")
+    for when, level in transitions:
+        print(f"  t={when:6.1f}s  -> {level}")
+    print(f"\nframes played: {player.frames_played}, "
+          f"late: {player.frames_late}")
+    print(f"bandwidth upcalls delivered: {registry.upcalls_delivered}")
+    print(f"final estimate: {estimator.estimate_bps / 1e6:.2f} Mb/s, "
+          f"final fidelity: {player.fidelity}")
+
+
+if __name__ == "__main__":
+    main()

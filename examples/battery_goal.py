@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scenario: "make this battery last until my flight lands."
+
+A user on a flight sets a battery-duration goal, then extends it when
+the flight is delayed (the paper's Section 5.4 scenario).  The script
+prints a live-style trace: residual energy, predicted demand, and every
+fidelity adaptation Odyssey performs.
+
+Run:  python examples/battery_goal.py
+"""
+
+from repro.experiments import build_goal_rig
+from repro.experiments.goal_study import _spawn_workload
+
+INITIAL_ENERGY_J = 6_000.0
+GOAL_S = 420.0
+DELAY_AT_S = 150.0
+DELAY_BY_S = 40.0
+
+
+def main():
+    rig, odyssey, battery = build_goal_rig(INITIAL_ENERGY_J)
+    controller = odyssey.set_goal(INITIAL_ENERGY_J, GOAL_S)
+    _spawn_workload(rig, horizon=(GOAL_S + DELAY_BY_S) * 1.5)
+    odyssey.start()
+    rig.sim.schedule(
+        DELAY_AT_S, lambda _t: controller.extend_goal(DELAY_BY_S)
+    )
+
+    print(f"Goal: {GOAL_S:.0f}s on {INITIAL_ENERGY_J:.0f} J "
+          f"(flight delayed +{DELAY_BY_S:.0f}s at t={DELAY_AT_S:.0f}s)\n")
+    print(f"{'t (s)':>7} {'residual':>9} {'demand':>9}  event")
+
+    # Periodic status line plus upcall commentary.
+    seen_upcalls = 0
+
+    def status(_t):
+        nonlocal seen_upcalls
+        now = rig.sim.now
+        lines = []
+        for upcall in odyssey.viceroy.upcalls[seen_upcalls:]:
+            lines.append(
+                f"{upcall.time:7.1f} {'':>9} {'':>9}  "
+                f"{upcall.kind} {upcall.application} -> {upcall.new_level}"
+            )
+        seen_upcalls = len(odyssey.viceroy.upcalls)
+        for line in lines:
+            print(line)
+        print(f"{now:7.1f} {controller.residual_energy:8.0f}J "
+              f"{controller.predicted_demand():8.0f}J")
+        if controller.running:
+            rig.sim.schedule(30.0, status)
+
+    rig.sim.schedule(30.0, status)
+
+    while rig.sim.now < controller.goal_seconds and not battery.exhausted:
+        if not rig.sim.step():
+            break
+    rig.machine.advance()
+
+    print(f"\ngoal ({controller.goal_seconds:.0f}s after extension): "
+          f"{'MET' if not battery.exhausted else 'MISSED'}")
+    print(f"battery residual: {battery.residual:.0f} J")
+    print(f"adaptations: {odyssey.viceroy.adaptation_counts()}")
+
+
+if __name__ == "__main__":
+    main()

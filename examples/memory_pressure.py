@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scenario: when does concurrency *cost* energy? (paper §3.7 caveat)
+
+Section 3.7 shows concurrency usually amortizes background power — but
+warns that inadequate physical memory flips the sign: competing working
+sets page against each other.  This script sweeps physical memory for
+a fixed two-application compute workload and prints the crossover.
+
+Run:  python examples/memory_pressure.py
+"""
+
+from repro.hardware import MemorySystem, build_machine
+from repro.sim import Simulator
+
+WORKING_SET_MB = 40.0
+WORK_S = 4.0
+
+
+def run(capacity_mb, concurrent):
+    sim = Simulator()
+    machine = build_machine(sim)
+    memory = MemorySystem(
+        machine, capacity_mb=capacity_mb, fault_fraction_per_pressure=1.2
+    )
+    if concurrent:
+        memory.declare("a", WORKING_SET_MB)
+        memory.declare("b", WORKING_SET_MB)
+        workers = [
+            sim.spawn(memory.compute(WORK_S, tag)) for tag in ("a", "b")
+        ]
+        while any(w.alive for w in workers):
+            sim.step()
+    else:
+        def session():
+            for tag in ("a", "b"):
+                memory.declare(tag, WORKING_SET_MB)
+                yield from memory.compute(WORK_S, tag)
+                memory.release(tag)
+
+        proc = sim.spawn(session())
+        while proc.alive:
+            sim.step()
+    machine.advance()
+    return machine.energy_total, memory.faults, sim.now
+
+
+def main():
+    print(f"Two applications, {WORKING_SET_MB:.0f} MB working set and "
+          f"{WORK_S:.0f} s of compute each:\n")
+    print(f"{'memory':>8} {'sequential':>12} {'concurrent':>12} "
+          f"{'ratio':>7} {'faults':>7} {'wall (s)':>9}")
+    for capacity in (128, 96, 80, 64, 56, 48):
+        seq_energy, _f, _t = run(capacity, concurrent=False)
+        conc_energy, faults, wall = run(capacity, concurrent=True)
+        ratio = conc_energy / seq_energy
+        marker = "  <- thrashing" if ratio > 1.5 else ""
+        print(f"{capacity:>6}MB {seq_energy:>11.0f}J {conc_energy:>11.0f}J "
+              f"{ratio:>7.2f} {faults:>7} {wall:>9.1f}{marker}")
+    print(
+        "\nWith ample memory, running the applications together costs the"
+        "\nsame energy as running them back to back.  Once the combined"
+        "\nworking sets exceed physical memory, paging traffic through the"
+        "\nsingle disk head dominates — the §3.7 caveat, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Scenario: replay a recorded user session under different policies.
+
+A session trace (the kind a deployed Odyssey could log) is replayed
+three times — without power management, with it, and with every
+application at lowest fidelity — to show what each layer saves for a
+*realistic interleaved session* rather than a single-application
+benchmark.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.experiments import build_rig
+from repro.workloads import SessionTrace
+
+SESSION = """
+# Morning commute session: check mail images, glance at the map,
+# dictate two notes, watch a bit of the news feed.
+0.0    web image-2
+12.0   web image-3
+25.0   map pittsburgh
+45.0   speech utterance-1
+52.0   speech utterance-2
+60.0   video video-1 20
+82.0   map san-jose
+105.0  idle 10
+"""
+
+CONFIGS = {
+    "no power management": dict(pm_enabled=False),
+    "hardware PM": dict(pm_enabled=True),
+    "hardware PM + lowest fidelity": dict(pm_enabled=True, lowest=True),
+}
+
+LOWEST = {
+    "speech": "reduced",
+    "web": "jpeg-5",
+    "map": "crop-secondary",
+    "video": "combined",
+}
+
+
+def replay(config):
+    lowest = config.pop("lowest", False)
+    rig = build_rig(**config)
+    if lowest:
+        for name, level in LOWEST.items():
+            rig.apps[name].set_fidelity(level)
+    trace = SessionTrace.parse(SESSION)
+    proc = rig.sim.spawn(trace.replay(rig))
+    energy = rig.run_until_complete(proc)
+    return energy, rig.sim.now
+
+
+def main():
+    print("Replaying a 115-second mixed session under three policies:\n")
+    baseline = None
+    for label, config in CONFIGS.items():
+        energy, span = replay(dict(config))
+        if baseline is None:
+            baseline = energy
+        saving = 1 - energy / baseline
+        print(f"  {label:<32} {energy:7.0f} J over {span:5.1f} s"
+              f"   ({saving:.1%} vs no PM)")
+    print(
+        "\nThe session is dominated by think/idle time, so hardware power"
+        "\nmanagement carries most of the savings here and fidelity"
+        "\nreduction adds the rest — the two compose, which is the paper's"
+        "\ncentral claim about combining the approaches."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scenario: how much energy does video fidelity reduction save?
+
+Recreates the Section 3.3 study interactively: play one video clip at
+every fidelity configuration of Figure 6 and print the energy breakdown
+by software component (the figure's bar shadings), showing where each
+saving comes from — disk power management, Xanim decode, the X server.
+
+Run:  python examples/video_fidelity.py
+"""
+
+from repro.experiments import build_rig
+from repro.experiments.fidelity_study import VIDEO_CONFIGS
+from repro.workloads import clip_by_name
+
+PROCESSES = ("Idle", "xanim", "X", "odyssey", "Interrupts-WaveLAN")
+
+
+def play_and_profile(clip, config):
+    pm_enabled, level = VIDEO_CONFIGS[config]
+    rig = build_rig(pm_enabled=pm_enabled)
+    player = rig.apps["video"]
+    player.set_fidelity(level)
+    process = rig.sim.spawn(player.play(clip))
+    total = rig.run_until_complete(process)
+    return total, rig.energy_report(), player
+
+
+def main():
+    clip = clip_by_name("video-1")
+    print(f"Playing {clip.name}: {clip.duration_s:.0f}s, "
+          f"{clip.frame_count} frames, "
+          f"{clip.bitrate_bps('baseline') / 1e6:.2f} Mb/s baseline track\n")
+
+    header = f"{'config':<16}{'energy':>10}{'saving':>9}  " + "".join(
+        f"{p:>12}" for p in PROCESSES
+    )
+    print(header)
+    print("-" * len(header))
+
+    baseline_total = None
+    for config in VIDEO_CONFIGS:
+        total, report, _player = play_and_profile(clip, config)
+        if baseline_total is None:
+            baseline_total = total
+        saving = 1 - total / baseline_total
+        shares = "".join(
+            f"{report.get(p, 0.0):>12.0f}" for p in PROCESSES
+        )
+        print(f"{config:<16}{total:>9.0f}J{saving:>8.1%}  {shares}")
+
+    print(
+        "\nNote how the X server column shrinks only for the reduced-"
+        "window configs\nwhile the xanim column follows the compression "
+        "level — the paper's Figure 6 observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

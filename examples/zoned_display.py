@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Scenario: what would zoned backlighting buy us? (paper Section 4)
+
+Projects the energy usage of the video player and map viewer on
+hypothetical displays whose backlight is divided into 4 or 8
+independently controlled zones, lighting only the zones under each
+application's window.
+
+Run:  python examples/zoned_display.py
+"""
+
+from repro.experiments import measure_map_zoned, measure_video_zoned
+from repro.workloads import map_by_name
+from repro.workloads.videos import VideoClip
+
+
+def main():
+    clip = VideoClip("demo-clip", 30.0, 12.0, 16_250)
+    city = map_by_name("pittsburgh")
+
+    print("Projected energy with zoned backlighting (relative to the "
+          "stock display)\n")
+    print(f"{'app':<7}{'fidelity':<17}{'zones':<10}{'lit':<5}"
+          f"{'energy':>9}{'vs stock':>10}")
+    print("-" * 58)
+
+    for config in ("hw-only", "combined"):
+        base = measure_video_zoned(clip, config, "no-zones")[0]
+        for zones in ("no-zones", "4-zones", "8-zones"):
+            energy, lit = measure_video_zoned(clip, config, zones)
+            print(f"{'video':<7}{config:<17}{zones:<10}"
+                  f"{lit if lit is not None else '-':<5}"
+                  f"{energy:>8.0f}J{1 - energy / base:>9.1%}")
+
+    for config in ("hw-only", "crop-secondary"):
+        base = measure_map_zoned(city, config, "no-zones")[0]
+        for zones in ("no-zones", "4-zones", "8-zones"):
+            energy, lit = measure_map_zoned(city, config, zones)
+            print(f"{'map':<7}{config:<17}{zones:<10}"
+                  f"{lit if lit is not None else '-':<5}"
+                  f"{energy:>8.0f}J{1 - energy / base:>9.1%}")
+
+    print("\nThe full-fidelity map spans every zone of the 2x2 display "
+          "(no savings);\ncropping shrinks it to 2 of 4 and 3 of 8 zones — "
+          "lowering fidelity\nenhances the zoned-backlight benefit, the "
+          "paper's Section 4 conclusion.")
+
+
+if __name__ == "__main__":
+    main()

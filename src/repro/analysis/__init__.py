@@ -1,0 +1,29 @@
+"""Analysis helpers: statistics, linear models, normalization, tables."""
+
+from repro.analysis.ascii_plot import ascii_chart, ascii_staircase
+from repro.analysis.export import energy_table_csv, timeline_csv, write_csv
+from repro.analysis.linear import LinearFit, fit_linear
+from repro.analysis.normalize import (
+    Range,
+    normalize_to_baseline,
+    range_across_objects,
+)
+from repro.analysis.stats import TrialStats, summarize, t_quantile
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "TrialStats",
+    "summarize",
+    "t_quantile",
+    "LinearFit",
+    "fit_linear",
+    "Range",
+    "normalize_to_baseline",
+    "range_across_objects",
+    "render_table",
+    "ascii_chart",
+    "ascii_staircase",
+    "energy_table_csv",
+    "timeline_csv",
+    "write_csv",
+]

@@ -1,0 +1,100 @@
+"""Terminal plotting: ASCII line charts for traces.
+
+Benchmarks and the CLI render Figure 19-style supply/demand curves and
+fidelity staircases directly in the terminal — no plotting stack
+required, deterministic output, diffable in tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ascii_chart", "ascii_staircase"]
+
+
+def _scale(value, lo, hi, size):
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def ascii_chart(series, width=64, height=12, labels=None, title=None):
+    """Plot one or more ``(times, values)`` series on a shared canvas.
+
+    Each series gets a marker character (``*``, ``+``, ``o``, ``x``).
+    Returns the chart as a string with a y-axis scale and x-range
+    footer.
+    """
+    series = list(series)
+    if not series or any(len(t) == 0 for t, _v in series):
+        raise ValueError("need at least one non-empty series")
+    if width < 8 or height < 3:
+        raise ValueError(f"canvas too small: {width}x{height}")
+    markers = "*+ox#@"
+    all_times = [t for times, _ in series for t in times]
+    all_values = [v for _, values in series for v in values]
+    t_lo, t_hi = min(all_times), max(all_times)
+    v_lo, v_hi = min(all_values), max(all_values)
+    if v_hi == v_lo:
+        v_hi = v_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (times, values) in enumerate(series):
+        marker = markers[index % len(markers)]
+        for t, v in zip(times, values):
+            col = _scale(t, t_lo, t_hi, width)
+            row = height - 1 - _scale(v, v_lo, v_hi, height)
+            canvas[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            axis = f"{v_hi:10.0f} |"
+        elif row_index == height - 1:
+            axis = f"{v_lo:10.0f} |"
+        else:
+            axis = " " * 10 + " |"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * (width - 1))
+    footer = f"{' ' * 12}t = {t_lo:.0f} .. {t_hi:.0f} s"
+    if labels:
+        legend = "   ".join(
+            f"{markers[i % len(markers)]} {label}"
+            for i, label in enumerate(labels)
+        )
+        footer += f"    [{legend}]"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def ascii_staircase(times, levels, level_names, width=64, title=None):
+    """Render a fidelity staircase: one row per level, marks over time.
+
+    ``levels`` holds level *names*; rows are printed highest fidelity
+    first, matching the paper's per-application fidelity graphs.
+    """
+    if len(times) != len(levels):
+        raise ValueError("times and levels must align")
+    if not times:
+        raise ValueError("empty staircase")
+    t_lo, t_hi = min(times), max(times)
+    rows = {name: [" "] * width for name in level_names}
+    # Fill forward: each level holds until the next transition.
+    for index, (t, level) in enumerate(zip(times, levels)):
+        if level not in rows:
+            raise ValueError(f"unknown level {level!r}")
+        start_col = _scale(t, t_lo, t_hi, width)
+        end_time = times[index + 1] if index + 1 < len(times) else t_hi
+        end_col = _scale(end_time, t_lo, t_hi, width)
+        for col in range(start_col, max(start_col + 1, end_col + 1)):
+            rows[level][col] = "#"
+    lines = []
+    if title:
+        lines.append(title)
+    name_width = max(len(n) for n in level_names)
+    for name in reversed(list(level_names)):  # highest fidelity on top
+        lines.append(f"{name:>{name_width}} |" + "".join(rows[name]))
+    lines.append(" " * (name_width + 1) + "+" + "-" * (width - 1))
+    lines.append(f"{' ' * (name_width + 2)}t = {t_lo:.0f} .. {t_hi:.0f} s")
+    return "\n".join(lines)

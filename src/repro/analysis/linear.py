@@ -1,0 +1,52 @@
+"""The linear think-time energy model (paper Sections 3.5–3.6).
+
+The paper expects ``E_t = E_0 + t * P_B``: energy at think time ``t``
+is the zero-think-time energy plus think time multiplied by the
+client's background power, and Figures 11 and 14 confirm the linear
+model fits well.  This module fits the model by least squares and
+reports the fit quality so the reproduction can make the same claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinearFit", "fit_linear"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """``energy = intercept + slope * think_time``."""
+
+    intercept: float   # E_0: energy at zero think time (J)
+    slope: float       # P_B: background power during think time (W)
+    r_squared: float
+
+    def predict(self, think_time):
+        """Model energy at a think time."""
+        return self.intercept + self.slope * think_time
+
+
+def fit_linear(think_times, energies):
+    """Least-squares fit of energy vs think time."""
+    xs = [float(x) for x in think_times]
+    ys = [float(y) for y in energies]
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ValueError("need at least two points for a linear fit")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("think times are all identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(intercept, slope, r_squared)

@@ -1,0 +1,65 @@
+"""Normalized summary tables (paper Figure 16 / Figure 18 format).
+
+Figure 16 normalizes every measurement to the baseline (full fidelity,
+no power management) of the same data object, then reports min–max
+ranges across the four objects per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Range", "normalize_to_baseline", "range_across_objects"]
+
+
+@dataclass(frozen=True)
+class Range:
+    """A min–max band across data objects (one Figure 16 cell)."""
+
+    low: float
+    high: float
+
+    def __format__(self, spec):
+        spec = spec or ".2f"
+        return f"{self.low:{spec}}-{self.high:{spec}}"
+
+    def contains(self, value):
+        return self.low <= value <= self.high
+
+    def overlaps(self, other):
+        return self.low <= other.high and other.low <= self.high
+
+
+def normalize_to_baseline(energies_by_config, baseline_config="baseline"):
+    """Normalize per-object energies to the object's baseline.
+
+    Parameters
+    ----------
+    energies_by_config:
+        ``{config: {object_name: joules}}``.
+    baseline_config:
+        The configuration used as 1.00.
+
+    Returns ``{config: {object_name: fraction}}``.
+    """
+    if baseline_config not in energies_by_config:
+        raise KeyError(f"missing baseline config {baseline_config!r}")
+    baselines = energies_by_config[baseline_config]
+    normalized = {}
+    for config, per_object in energies_by_config.items():
+        row = {}
+        for obj, joules in per_object.items():
+            base = baselines.get(obj)
+            if base is None or base <= 0:
+                raise ValueError(f"no positive baseline for object {obj!r}")
+            row[obj] = joules / base
+        normalized[config] = row
+    return normalized
+
+
+def range_across_objects(normalized_row):
+    """Collapse per-object fractions into a Figure 16 min–max cell."""
+    values = list(normalized_row.values())
+    if not values:
+        raise ValueError("empty normalized row")
+    return Range(min(values), max(values))

@@ -1,0 +1,76 @@
+"""Summary statistics for experiment trials.
+
+The paper reports each value as the mean of five (or ten) trials with
+90 % confidence intervals; these helpers reproduce that reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+try:  # scipy gives exact small-sample t quantiles when available
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - scipy is an install-time given
+    _scipy_stats = None
+
+__all__ = ["TrialStats", "summarize", "t_quantile"]
+
+# Two-sided 90% t quantiles by degrees of freedom (fallback table).
+_T90 = {
+    1: 6.314, 2: 2.920, 3: 2.353, 4: 2.132, 5: 2.015, 6: 1.943,
+    7: 1.895, 8: 1.860, 9: 1.833, 10: 1.812, 15: 1.753, 20: 1.725,
+    30: 1.697, 60: 1.671,
+}
+
+
+def t_quantile(dof, confidence=0.90):
+    """Two-sided Student-t quantile for a confidence interval."""
+    if dof < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {dof}")
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    if confidence != 0.90:
+        raise ValueError("fallback table only covers 90% confidence")
+    keys = sorted(_T90)
+    for key in keys:
+        if dof <= key:
+            return _T90[key]
+    return 1.645
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean, sample standard deviation and CI half-width of trials."""
+
+    mean: float
+    stdev: float
+    ci90: float
+    n: int
+
+    @property
+    def low(self):
+        return self.mean - self.ci90
+
+    @property
+    def high(self):
+        return self.mean + self.ci90
+
+    def __format__(self, spec):
+        spec = spec or ".1f"
+        return f"{self.mean:{spec}} ± {self.ci90:{spec}}"
+
+
+def summarize(values, confidence=0.90):
+    """Summarize trial values the way the paper's error bars do."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot summarize zero trials")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return TrialStats(mean, 0.0, 0.0, 1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stdev = math.sqrt(variance)
+    half = t_quantile(n - 1, confidence) * stdev / math.sqrt(n)
+    return TrialStats(mean, stdev, half, n)

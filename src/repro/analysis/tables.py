@@ -1,0 +1,35 @@
+"""ASCII table rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's figures report; this
+keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table"]
+
+
+def render_table(headers, rows, title=None):
+    """Render a simple aligned table.
+
+    ``rows`` is a sequence of sequences; cells are stringified with
+    ``str``.  Numeric formatting is the caller's job.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

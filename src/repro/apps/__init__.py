@@ -1,0 +1,45 @@
+"""The four adaptive applications of the paper, plus shared models."""
+
+from repro.apps.base import AdaptiveApplication
+from repro.apps.composite import CompositeApplication
+from repro.apps.costs import DEFAULT_COSTS, CostModel
+from repro.apps.mapviewer import MAP_LEVELS, MapViewer, MapWarden
+from repro.apps.speech import (
+    SPEECH_LEVELS,
+    SPEECH_MODES,
+    SpeechRecognizer,
+    SpeechWarden,
+)
+from repro.apps.video import (
+    VIDEO_LEVEL_CONFIG,
+    VIDEO_LEVELS,
+    VideoPlayer,
+    VideoWarden,
+)
+from repro.apps.web import WEB_LEVELS, WebBrowser, WebWarden
+from repro.apps.windowmgr import ZonedWindowManager
+from repro.apps.xserver import X_PROCESS, XServer
+
+__all__ = [
+    "AdaptiveApplication",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "XServer",
+    "X_PROCESS",
+    "VideoPlayer",
+    "VideoWarden",
+    "VIDEO_LEVELS",
+    "VIDEO_LEVEL_CONFIG",
+    "SpeechRecognizer",
+    "SpeechWarden",
+    "SPEECH_LEVELS",
+    "SPEECH_MODES",
+    "MapViewer",
+    "MapWarden",
+    "MAP_LEVELS",
+    "WebBrowser",
+    "WebWarden",
+    "WEB_LEVELS",
+    "CompositeApplication",
+    "ZonedWindowManager",
+]

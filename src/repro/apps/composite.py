@@ -1,0 +1,75 @@
+"""The composite application (paper Section 3.7).
+
+Models a user searching for Web and map information using speech
+commands: each loop iteration locally recognizes two speech utterances,
+accesses a Web page, accesses a map, and includes five seconds of think
+time after each visual access.  The Section 3.7 concurrency experiment
+runs six iterations; the Section 5 goal-directed experiments start one
+iteration every 25 seconds to obtain a continuous workload.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.images import IMAGES
+from repro.workloads.maps import MAPS
+from repro.workloads.utterances import UTTERANCES
+
+__all__ = ["CompositeApplication"]
+
+
+class CompositeApplication:
+    """Drives the speech, Web and map applications in the paper's loop.
+
+    The constituent applications remain independently adaptive — the
+    composite is a workload, not a fidelity ladder.
+    """
+
+    def __init__(self, speech, web, mapviewer,
+                 utterances=None, images=None, maps=None):
+        self.speech = speech
+        self.web = web
+        self.mapviewer = mapviewer
+        self.utterances = list(utterances or UTTERANCES[:2])
+        self.images = list(images or IMAGES)
+        self.maps = list(maps or MAPS)
+        self.iterations_completed = 0
+
+    @property
+    def sim(self):
+        return self.speech.sim
+
+    @property
+    def applications(self):
+        """The constituent adaptive applications."""
+        return (self.speech, self.web, self.mapviewer)
+
+    # ------------------------------------------------------------------
+    def run_iteration(self, index=0):
+        """Generator: one loop — two utterances, a Web page, a map."""
+        for utterance in self.utterances[:2]:
+            yield from self.speech.recognize(utterance)
+        image = self.images[index % len(self.images)]
+        yield from self.web.browse(image)          # includes think time
+        city = self.maps[index % len(self.maps)]
+        yield from self.mapviewer.view(city)       # includes think time
+        self.iterations_completed += 1
+
+    def run(self, iterations=6):
+        """Generator: the Section 3.7 workload (six iterations)."""
+        for index in range(iterations):
+            yield from self.run_iteration(index)
+
+    def run_every(self, period, until):
+        """Generator: start an iteration every ``period`` seconds.
+
+        If an iteration overruns the period, the next starts
+        immediately — the workload stays continuous either way.
+        """
+        first = self.sim.now
+        index = 0
+        while first + index * period < until - 1e-9:
+            target = first + index * period
+            if self.sim.now < target:
+                yield self.sim.timeout(target - self.sim.now)
+            yield from self.run_iteration(index)
+            index += 1

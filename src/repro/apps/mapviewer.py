@@ -1,0 +1,101 @@
+"""The adaptive map viewer, Anvil (paper Section 3.5).
+
+Anvil fetches maps from a remote server via Odyssey.  The client
+annotates the request with the desired amount of filtering (dropping
+minor, then also secondary roads) and cropping (a geographic subset);
+the server performs the operations before transmitting.  After the
+fetch, Anvil parses and the X server draws the map, then the user
+thinks — energy during think time is charged to the application since
+it keeps the map visible.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AdaptiveApplication
+from repro.apps.costs import DEFAULT_COSTS
+from repro.core.warden import Warden
+from repro.hardware.display import Rect
+from repro.workloads.maps import MAP_FIDELITIES
+from repro.workloads.thinktime import DEFAULT_THINK_S, FixedThinkTime
+
+__all__ = ["MapWarden", "MapViewer", "MAP_LEVELS"]
+
+# Adaptation ladder used in the goal-directed experiments (a subset of
+# the seven Figure 10 measurement configurations), lowest first.
+MAP_LEVELS = ("crop-secondary", "secondary-filter", "minor-filter", "full")
+
+# Window geometry chosen to reproduce the paper's zone-occupancy
+# statements (Section 4.2): the full map straddles all 4 zones of a
+# 2x2 display but 6 of a 2x4; the cropped map 2 of 4 and 3 of 8.
+FULL_MAP_WINDOW = Rect(0, 0, 600, 520)
+CROPPED_MAP_WINDOW = Rect(0, 0, 600, 260)
+
+
+class MapWarden(Warden):
+    """Map-type warden: annotated fetches from the map server."""
+
+    def __init__(self, channel, costs=DEFAULT_COSTS):
+        super().__init__("map", channel=channel)
+        self.costs = costs
+
+    def fetch_map(self, city, fidelity):
+        """Generator: fetch ``city`` at ``fidelity``; returns bytes moved."""
+        self.requests += 1
+        nbytes = city.bytes_at(fidelity)
+        # The server filters/crops the full map before transmitting.
+        server_work = city.full_bytes * self.costs.map_server_s_per_byte
+        yield from self.channel.call(
+            self.costs.map_request_bytes, nbytes, work_units=server_work
+        )
+        machine = self.channel.link.machine
+        overhead = (
+            self.costs.odyssey_s_per_call + nbytes * self.costs.odyssey_s_per_byte
+        )
+        yield from machine.compute(overhead, "odyssey", "_rpc2_RecvPacket")
+        return nbytes
+
+
+class MapViewer(AdaptiveApplication):
+    """Anvil on Odyssey."""
+
+    process_name = "anvil"
+
+    def __init__(self, machine, warden, xserver, priority=3,
+                 costs=DEFAULT_COSTS, think_time=None, start_level=None,
+                 levels=MAP_LEVELS):
+        super().__init__(
+            "map", machine, levels, priority=priority, start_level=start_level
+        )
+        self.warden = warden
+        self.xserver = xserver
+        self.costs = costs
+        self.think_time = think_time or FixedThinkTime(DEFAULT_THINK_S)
+        self.maps_viewed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cropped(self):
+        """True when the current fidelity crops the map."""
+        return self.fidelity.startswith("crop")
+
+    def window_rect(self):
+        return CROPPED_MAP_WINDOW if self.cropped else FULL_MAP_WINDOW
+
+    # ------------------------------------------------------------------
+    def view(self, city, fidelity=None):
+        """Generator: fetch, draw, and absorb one map."""
+        level = fidelity if fidelity is not None else self.fidelity
+        if level not in MAP_FIDELITIES:
+            raise ValueError(f"unknown map fidelity {level!r}")
+        nbytes = yield from self.warden.fetch_map(city, level)
+        # Anvil parse/layout, then X draws the segments.
+        yield from self.machine.compute(
+            nbytes * self.costs.map_parse_s_per_byte, self.process_name, "_Layout"
+        )
+        yield from self.xserver.render_bytes(
+            nbytes, self.costs.map_render_s_per_byte
+        )
+        yield from self.think(self.think_time.next())
+        self.maps_viewed += 1
+        self.items_completed += 1
+        return nbytes

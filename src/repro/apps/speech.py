@@ -1,0 +1,167 @@
+"""The adaptive speech recognizer (paper Section 3.4).
+
+A front-end generates a speech waveform and submits it via Odyssey to a
+local or remote instance of the Janus recognizer.  Three execution
+strategies:
+
+* **local** — recognition runs entirely on the client CPU; unavoidable
+  when disconnected.
+* **remote** — the waveform ships to a wall-powered server; the client
+  idles (receive-ready) while waiting for the reply.
+* **hybrid** — the first recognition phase runs locally, acting as a
+  type-specific compression that shrinks the shipped data about five
+  times, and the server completes the remaining work.
+
+Fidelity is lowered by a reduced vocabulary and simpler acoustic model,
+which shrinks recognition work wherever it runs.  User interaction is
+by voice, so the display can be off throughout (the power manager's
+``display_policy="off"``).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AdaptiveApplication
+from repro.apps.costs import DEFAULT_COSTS
+from repro.core.warden import Warden
+from repro.workloads.utterances import SPEECH_MODELS
+
+__all__ = ["SpeechWarden", "SpeechRecognizer", "SPEECH_LEVELS", "SPEECH_MODES"]
+
+SPEECH_LEVELS = ("reduced", "full")   # vocabulary/acoustic model, lowest first
+SPEECH_MODES = ("local", "remote", "hybrid")
+
+
+class SpeechWarden(Warden):
+    """Speech-type warden: ships waveforms/intermediates to remote Janus."""
+
+    def __init__(self, channel, costs=DEFAULT_COSTS):
+        super().__init__("speech", channel=channel)
+        self.costs = costs
+
+    def remote_recognize(self, payload_bytes, work_units):
+        """Generator: RPC carrying ``payload_bytes`` for ``work_units``."""
+        self.requests += 1
+        yield from self.channel.call(
+            payload_bytes, self.costs.speech_reply_bytes, work_units=work_units
+        )
+
+
+class SpeechRecognizer(AdaptiveApplication):
+    """Janus + speech front-end on Odyssey."""
+
+    process_name = "janus"
+
+    def __init__(self, machine, warden=None, mode="local", priority=1,
+                 costs=DEFAULT_COSTS, start_level=None):
+        if mode not in SPEECH_MODES:
+            raise ValueError(f"unknown speech mode {mode!r}")
+        if mode != "local" and warden is None:
+            raise ValueError(f"{mode} recognition requires a speech warden")
+        super().__init__(
+            "speech", machine, SPEECH_LEVELS, priority=priority,
+            start_level=start_level,
+        )
+        self.warden = warden
+        self.mode = mode
+        self.costs = costs
+        self.utterances_recognized = 0
+        self.fallbacks_to_local = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self):
+        """Current vocabulary/acoustic model name (= fidelity level)."""
+        return self.fidelity
+
+    def recognition_work(self, utterance):
+        """CPU seconds of full recognition at the current fidelity."""
+        return utterance.recognition_seconds(self.model)
+
+    # ------------------------------------------------------------------
+    def recognize(self, utterance):
+        """Generator: recognize one utterance with the current strategy.
+
+        Remote and hybrid strategies fall back to local recognition if
+        the client is disconnected — "local recognition avoids network
+        transmission and is unavoidable if the client is disconnected"
+        (paper Section 3.4).
+        """
+        mode = self.mode
+        if mode != "local" and not self._connected():
+            mode = "local"
+            self.fallbacks_to_local += 1
+        if mode == "local":
+            yield from self._recognize_local(utterance)
+        elif mode == "remote":
+            yield from self._recognize_remote(utterance)
+        else:
+            yield from self._recognize_hybrid(utterance)
+        self.utterances_recognized += 1
+        self.items_completed += 1
+
+    def _connected(self):
+        if self.warden is None or self.warden.channel is None:
+            return False
+        return self.warden.channel.link.up
+
+    def _recognize_local(self, utterance):
+        yield from self.machine.compute(
+            self.recognition_work(utterance), self.process_name, "_Search"
+        )
+
+    def _recognize_remote(self, utterance):
+        # Front-end conditions the waveform and packages the RPC.
+        frontend = utterance.duration_s * self.costs.speech_frontend_rtf
+        yield from self.machine.compute(
+            frontend, "speech-frontend", "_EncodeWaveform"
+        )
+        work = self.recognition_work(utterance) / self.costs.speech_server_speed
+        yield from self.warden.remote_recognize(utterance.waveform_bytes, work)
+
+    def _recognize_hybrid(self, utterance):
+        # Phase one locally: a type-specific compression yielding about
+        # a factor of five reduction in data volume.
+        phase1 = utterance.duration_s * self.costs.speech_hybrid_phase1_rtf
+        yield from self.machine.compute(phase1, self.process_name, "_Phase1")
+        payload = int(
+            utterance.waveform_bytes / self.costs.speech_hybrid_compression
+        )
+        work = (
+            self.recognition_work(utterance)
+            * self.costs.speech_hybrid_server_factor
+            / self.costs.speech_server_speed
+        )
+        yield from self.warden.remote_recognize(payload, work)
+
+    # ------------------------------------------------------------------
+    def recommend_mode(self, energy_fraction_remaining):
+        """Pick an execution strategy from the energy state.
+
+        The paper: "In practice, the optimal strategy will depend on
+        resource availability and the user's tolerance for low-fidelity
+        recognition."  The policy here: disconnected clients must run
+        locally; with plentiful energy, local recognition gives the
+        best interactive latency; as energy drains, offload — hybrid
+        first (greatest savings, Section 3.4), falling back to remote
+        when even the first phase is too expensive locally.
+        """
+        if not self._connected():
+            return "local"
+        if energy_fraction_remaining > 0.6:
+            return "local"
+        if energy_fraction_remaining > 0.15:
+            return "hybrid"
+        return "remote"
+
+    def set_mode(self, mode):
+        """Switch execution strategy (takes effect at the next utterance)."""
+        if mode not in SPEECH_MODES:
+            raise ValueError(f"unknown speech mode {mode!r}")
+        if mode != "local" and self.warden is None:
+            raise ValueError(f"{mode} recognition requires a speech warden")
+        self.mode = mode
+
+    @staticmethod
+    def available_models():
+        """Model names and their real-time factors (for documentation)."""
+        return dict(SPEECH_MODELS)

@@ -1,0 +1,231 @@
+"""The adaptive video player (paper Section 3.3).
+
+Xanim fetches video from a server through Odyssey and displays it on
+the client.  Two fidelity dimensions: the lossy-compression track used
+to encode the clip (baseline / Premiere-B / Premiere-C) and the size of
+the display window (full / reduced to half height and width).
+
+The player is pipelined exactly like the real thing: a fetch process
+streams encoded frames over the wireless link into a small buffer while
+the playback loop decodes each frame (cost proportional to encoded
+bytes) and hands it to the X server (cost proportional to window area,
+*independent* of compression — the paper's Figure 6 observation).
+Playback is paced by the frame deadline, so a network-limited stream
+leaves the processor idle just as the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AdaptiveApplication
+from repro.apps.costs import DEFAULT_COSTS
+from repro.core.warden import Warden
+from repro.hardware.display import Rect
+from repro.workloads.videos import WINDOWS
+
+__all__ = ["VideoWarden", "VideoPlayer", "VIDEO_LEVELS", "VIDEO_LEVEL_CONFIG"]
+
+# Fidelity ladder, lowest first.  "combined" pairs the aggressive
+# Premiere-C track with the reduced window.
+VIDEO_LEVELS = ("combined", "reduced-window", "premiere-c", "premiere-b", "baseline")
+
+VIDEO_LEVEL_CONFIG = {
+    "baseline": ("baseline", "full"),
+    "premiere-b": ("premiere-b", "full"),
+    "premiere-c": ("premiere-c", "full"),
+    "reduced-window": ("baseline", "reduced"),
+    "combined": ("premiere-c", "reduced"),
+}
+
+# Frames buffered ahead of playback before the fetcher throttles.
+PREFETCH_FRAMES = 8
+
+
+class VideoWarden(Warden):
+    """Video-type warden: streams encoded frames from the video server."""
+
+    def __init__(self, link, costs=DEFAULT_COSTS):
+        super().__init__("video")
+        self.link = link
+        self.costs = costs
+
+    def fetch_frame(self, nbytes):
+        """Generator: pull one encoded frame over the link.
+
+        Charges Odyssey's own packet-handling CPU time (the ``odyssey``
+        slice in the paper's profiles) on top of the transfer.
+        """
+        self.requests += 1
+        machine = self.link.machine
+        yield from self.link.recv(nbytes)
+        overhead = self.costs.odyssey_s_per_call + nbytes * self.costs.odyssey_s_per_byte
+        yield from machine.compute(overhead, "odyssey", "_sftp_DataArrived")
+
+
+class VideoPlayer(AdaptiveApplication):
+    """Xanim on Odyssey."""
+
+    process_name = "xanim"
+
+    def __init__(self, machine, warden, xserver, priority=2,
+                 costs=DEFAULT_COSTS, start_level=None, window_origin=(0, 0),
+                 drop_late_frames=False, drop_threshold_frames=2.0):
+        super().__init__(
+            "video", machine, VIDEO_LEVELS, priority=priority,
+            start_level=start_level,
+        )
+        self.warden = warden
+        self.xserver = xserver
+        self.costs = costs
+        self.window_origin = window_origin
+        # Real players drop frames that arrive hopelessly late rather
+        # than falling further behind; the paper's Section 2.2 framing
+        # ("rather than suffering lost frames") is about avoiding this
+        # by adapting — the mechanism itself still exists.
+        self.drop_late_frames = drop_late_frames
+        self.drop_threshold_frames = drop_threshold_frames
+        self.frames_played = 0
+        self.frames_late = 0
+        self.frames_dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def track(self):
+        """Current compression track."""
+        return VIDEO_LEVEL_CONFIG[self.fidelity][0]
+
+    @property
+    def window(self):
+        """Current window-size name."""
+        return VIDEO_LEVEL_CONFIG[self.fidelity][1]
+
+    def window_rect(self):
+        width, height = WINDOWS[self.window]
+        x, y = self.window_origin
+        return Rect(x, y, width, height)
+
+    # ------------------------------------------------------------------
+    def play(self, clip, max_seconds=None):
+        """Generator: play ``clip`` to completion (or a time limit).
+
+        Fidelity is re-read every frame, so adaptation upcalls take
+        effect mid-stream.
+        """
+        frame_count = clip.frame_count
+        if max_seconds is not None:
+            frame_count = min(frame_count, int(max_seconds * clip.fps))
+        period = 1.0 / clip.fps
+        ready = [self.sim.event() for _ in range(frame_count)]
+        state = {"consumed": 0, "space": self.sim.event()}
+        self.sim.spawn(
+            self._fetch_frames(clip, ready, state), name=f"{self.name}-fetch"
+        )
+        start = self.sim.now
+        for index in range(frame_count):
+            yield ready[index]
+            nbytes = ready[index].value
+            deadline = start + (index + 1) * period
+            if (
+                self.drop_late_frames
+                and self.sim.now - deadline
+                > self.drop_threshold_frames * period
+            ):
+                # Hopelessly late: skip decode and render entirely.
+                self.frames_dropped += 1
+                state["consumed"] += 1
+                state["space"].trigger()
+                state["space"] = self.sim.event()
+                continue
+            # Decode: cost follows the *encoded* size (lossy compression
+            # shrinks it); the decoded frame handed to X does not.
+            yield from self.machine.compute(
+                nbytes * self.costs.decode_s_per_byte,
+                self.process_name,
+                "_DecodeFrame",
+            )
+            width, height = WINDOWS[self.window]
+            yield from self.xserver.render_pixels(
+                width * height, self.costs.video_render_s_per_pixel
+            )
+            state["consumed"] += 1
+            state["space"].trigger()
+            state["space"] = self.sim.event()
+            self.frames_played += 1
+            if self.sim.now < deadline:
+                yield self.sim.timeout(deadline - self.sim.now)
+            else:
+                self.frames_late += 1
+        self.items_completed += 1
+
+    def _fetch_frames(self, clip, ready, state):
+        for index in range(len(ready)):
+            while index - state["consumed"] >= PREFETCH_FRAMES:
+                yield state["space"]
+            nbytes = clip.track_bytes(self.track)
+            yield from self.warden.fetch_frame(nbytes)
+            ready[index].trigger(nbytes)
+
+    # ------------------------------------------------------------------
+    # network-bandwidth adaptation (the original Odyssey dimension)
+    # ------------------------------------------------------------------
+    def fidelity_for_bandwidth(self, clip, bandwidth_bps, headroom=0.9):
+        """Highest full-window fidelity whose stream fits the bandwidth.
+
+        Mirrors the paper's Section 2.2 example: a client playing
+        full-quality video switches to a lower-quality track when
+        bandwidth drops, rather than suffering lost frames.  Only the
+        compression dimension reacts to bandwidth; window size is an
+        energy dimension.
+        """
+        for level in ("baseline", "premiere-b", "premiere-c"):
+            track, _window = VIDEO_LEVEL_CONFIG[level]
+            if clip.bitrate_bps(track) <= bandwidth_bps * headroom:
+                return level
+        return "premiere-c"
+
+    def bandwidth_window(self, clip, level, headroom=0.9):
+        """The expectation window within which ``level`` stays correct.
+
+        Below the window the stream no longer fits; above it a better
+        track would fit — either way Odyssey should deliver an upcall.
+        """
+        from repro.core.expectations import ResourceWindow
+
+        track, _window = VIDEO_LEVEL_CONFIG[level]
+        low = clip.bitrate_bps(track) / headroom
+        better = {"premiere-c": "premiere-b", "premiere-b": "baseline"}
+        if level in better:
+            high = clip.bitrate_bps(VIDEO_LEVEL_CONFIG[better[level]][0]) / headroom
+        else:
+            high = float("inf")
+        if level == "premiere-c":
+            low = 0.0  # nothing lower to fall back to
+        return ResourceWindow(low, high)
+
+    def bandwidth_upcall(self, clip, headroom=0.9):
+        """An upcall suitable for :class:`ExpectationRegistry.register`.
+
+        On violation, re-adapts the compression track to the observed
+        bandwidth and returns the new expectation window.
+        """
+
+        def upcall(level_bps, _old_window):
+            new_level = self.fidelity_for_bandwidth(clip, level_bps, headroom)
+            if new_level != self.fidelity:
+                self.set_fidelity(new_level)
+            return self.bandwidth_window(clip, new_level, headroom)
+
+        return upcall
+
+    def play_loop(self, clip, duration):
+        """Generator: loop the clip as a background newsfeed for ``duration``."""
+        end = self.sim.now + duration
+        period = 1.0 / clip.fps
+        while True:
+            remaining = end - self.sim.now
+            if remaining < period:
+                # Not enough time left for even one frame: idle out the
+                # tail instead of spinning on zero-frame plays.
+                if remaining > 0:
+                    yield self.sim.timeout(remaining)
+                return
+            yield from self.play(clip, max_seconds=remaining)

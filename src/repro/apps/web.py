@@ -1,0 +1,98 @@
+"""The adaptive Web browser (paper Section 3.6).
+
+An unmodified Netscape routes requests to a client-side proxy that
+interacts with Odyssey; Odyssey forwards each request, annotated with
+the desired fidelity, to a distillation server that transcodes images
+to lower fidelity with lossy JPEG compression before transmission over
+the variable-quality link (the Fox et al. strategy, with fidelity
+control at the client).  Think time after display is charged to the
+application.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AdaptiveApplication
+from repro.apps.costs import DEFAULT_COSTS
+from repro.core.warden import Warden
+from repro.hardware.display import Rect
+from repro.workloads.images import JPEG_QUALITIES
+from repro.workloads.thinktime import DEFAULT_THINK_S, FixedThinkTime
+
+__all__ = ["WebWarden", "WebBrowser", "WEB_LEVELS"]
+
+WEB_LEVELS = JPEG_QUALITIES  # ("jpeg-5", ..., "full"), lowest first
+
+# Netscape was almost full-screen at all fidelities in the paper's
+# experiments — which is why Section 4 expects no zoned-display benefit.
+NETSCAPE_WINDOW = Rect(0, 0, 780, 560)
+
+
+class WebWarden(Warden):
+    """Web-type warden: distillation fetches through the proxy."""
+
+    def __init__(self, channel, costs=DEFAULT_COSTS):
+        super().__init__("web", channel=channel)
+        self.costs = costs
+
+    def fetch_image(self, image, quality):
+        """Generator: fetch ``image`` distilled to ``quality``."""
+        self.requests += 1
+        nbytes = image.bytes_at(quality)
+        machine = self.channel.link.machine
+        # Client proxy intercepts the request before it reaches Odyssey.
+        yield from machine.compute(
+            self.costs.web_proxy_s_per_call, "proxy", "_HandleRequest"
+        )
+        # Distillation transcodes the original; work scales with the
+        # *full* image size regardless of the target quality.
+        distill = (
+            image.full_bytes * self.costs.web_distill_s_per_byte
+            if quality != "full"
+            else 0.0
+        )
+        yield from self.channel.call(
+            self.costs.web_request_bytes, nbytes, work_units=distill
+        )
+        overhead = (
+            self.costs.odyssey_s_per_call + nbytes * self.costs.odyssey_s_per_byte
+        )
+        yield from machine.compute(overhead, "odyssey", "_rpc2_RecvPacket")
+        return nbytes
+
+
+class WebBrowser(AdaptiveApplication):
+    """Netscape + proxy on Odyssey."""
+
+    process_name = "netscape"
+
+    def __init__(self, machine, warden, xserver, priority=4,
+                 costs=DEFAULT_COSTS, think_time=None, start_level=None):
+        super().__init__(
+            "web", machine, WEB_LEVELS, priority=priority, start_level=start_level
+        )
+        self.warden = warden
+        self.xserver = xserver
+        self.costs = costs
+        self.think_time = think_time or FixedThinkTime(DEFAULT_THINK_S)
+        self.pages_viewed = 0
+
+    def window_rect(self):
+        return NETSCAPE_WINDOW
+
+    def browse(self, image, quality=None):
+        """Generator: fetch, render, and absorb one image."""
+        level = quality if quality is not None else self.fidelity
+        nbytes = yield from self.warden.fetch_image(image, level)
+        # Netscape decodes and lays out the received image.
+        yield from self.machine.compute(
+            nbytes * self.costs.web_render_s_per_byte, self.process_name, "_Layout"
+        )
+        # X paints it; cost follows the decoded size, which scales with
+        # the received bytes for JPEG-distilled GIFs.
+        yield from self.xserver.render_bytes(
+            nbytes, self.costs.web_render_s_per_byte * 0.3
+        )
+        yield from self.think(self.think_time.next())
+        self.pages_viewed += 1
+        self.items_completed += 1
+        return nbytes

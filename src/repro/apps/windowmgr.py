@@ -1,0 +1,152 @@
+"""Window management for zoned-backlight displays (paper Section 4.1).
+
+The paper envisions two window-manager features for zoned displays:
+
+* a **snap-to** feature "that would move windows slightly so as to
+  straddle the fewest possible zones";
+* **user control over illumination of peripheral zones** — "in a
+  typical configuration, only the window in focus might be brightly
+  illuminated, while the rest of the screen is dim or dark."
+
+:class:`ZonedWindowManager` implements both on top of
+:class:`~repro.hardware.display.ZonedDisplay`.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.component import HardwareError
+from repro.hardware.display import Rect, ZonedDisplay
+
+__all__ = ["ZonedWindowManager"]
+
+
+class ZonedWindowManager:
+    """Places windows on a zoned display and controls zone illumination.
+
+    Parameters
+    ----------
+    display:
+        The :class:`~repro.hardware.display.ZonedDisplay` to manage.
+    max_snap:
+        Maximum pixels a window may be nudged by the snap-to feature.
+    peripheral_level:
+        Illumination for zones holding unfocused windows
+        (``"dim"`` by default; ``"off"`` for maximum savings).
+    """
+
+    def __init__(self, display, max_snap=60.0, peripheral_level=ZonedDisplay.DIM):
+        if not isinstance(display, ZonedDisplay):
+            raise HardwareError("ZonedWindowManager requires a ZonedDisplay")
+        if peripheral_level not in (
+            ZonedDisplay.BRIGHT, ZonedDisplay.DIM, ZonedDisplay.OFF
+        ):
+            raise HardwareError(f"invalid peripheral level {peripheral_level!r}")
+        self.display = display
+        self.max_snap = max_snap
+        self.peripheral_level = peripheral_level
+        self.windows = {}
+        self.focus = None
+
+    # ------------------------------------------------------------------
+    # snap-to placement
+    # ------------------------------------------------------------------
+    def _candidate_offsets(self, position, size, boundaries):
+        """Offsets (within max_snap) aligning either window edge to a
+        zone boundary, plus zero."""
+        offsets = {0.0}
+        for boundary in boundaries:
+            for edge in (position, position + size):
+                delta = boundary - edge
+                if abs(delta) <= self.max_snap:
+                    offsets.add(delta)
+        return sorted(offsets, key=abs)
+
+    def snap(self, rect):
+        """Nudge ``rect`` to straddle the fewest possible zones.
+
+        Returns the snapped :class:`~repro.hardware.display.Rect`.
+        Ties prefer the smallest displacement; the window never moves
+        off screen or farther than ``max_snap`` in either axis.
+        """
+        display = self.display
+        x_bounds = [display.width / display.cols * i
+                    for i in range(display.cols + 1)]
+        y_bounds = [display.height / display.rows * i
+                    for i in range(display.rows + 1)]
+        best = rect
+        best_key = (len(display.zones_for(rect)), 0.0)
+        for dx in self._candidate_offsets(rect.x, rect.width, x_bounds):
+            new_x = rect.x + dx
+            if new_x < 0 or new_x + rect.width > display.width:
+                continue
+            for dy in self._candidate_offsets(rect.y, rect.height, y_bounds):
+                new_y = rect.y + dy
+                if new_y < 0 or new_y + rect.height > display.height:
+                    continue
+                candidate = Rect(new_x, new_y, rect.width, rect.height)
+                zones = len(display.zones_for(candidate))
+                displacement = abs(dx) + abs(dy)
+                key = (zones, displacement)
+                if key < best_key:
+                    best, best_key = candidate, key
+        return best
+
+    # ------------------------------------------------------------------
+    # window and focus management
+    # ------------------------------------------------------------------
+    def place(self, name, rect, snap=True):
+        """Add or move a window; returns its (possibly snapped) rect."""
+        placed = self.snap(rect) if snap else rect
+        self.windows[name] = placed
+        if self.focus is None:
+            self.focus = name
+        self._apply()
+        return placed
+
+    def remove(self, name):
+        """Remove a window from management."""
+        self.windows.pop(name, None)
+        if self.focus == name:
+            self.focus = next(iter(self.windows), None)
+        self._apply()
+
+    def set_focus(self, name):
+        """Bring a window to focus (its zones go bright)."""
+        if name not in self.windows:
+            raise KeyError(f"no window named {name!r}")
+        self.focus = name
+        self._apply()
+
+    def _apply(self):
+        """Re-illuminate: focus bright, peripherals at their level,
+        uncovered zones off."""
+        display = self.display
+        focus_zones = set()
+        peripheral_zones = set()
+        for name, rect in self.windows.items():
+            zones = display.zones_for(rect)
+            if name == self.focus:
+                focus_zones.update(zones)
+            else:
+                peripheral_zones.update(zones)
+        peripheral_zones -= focus_zones
+        for index in range(display.zones):
+            if index in focus_zones:
+                display.set_zone(index, ZonedDisplay.BRIGHT)
+            elif index in peripheral_zones:
+                display.set_zone(index, self.peripheral_level)
+            else:
+                display.set_zone(index, ZonedDisplay.OFF)
+
+    # ------------------------------------------------------------------
+    def zones_lit(self):
+        """(bright, peripheral) zone counts currently illuminated."""
+        bright = sum(
+            1 for level in self.display.zone_levels
+            if level == ZonedDisplay.BRIGHT
+        )
+        dim = sum(
+            1 for level in self.display.zone_levels
+            if level == ZonedDisplay.DIM
+        )
+        return bright, dim

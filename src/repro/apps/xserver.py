@@ -1,0 +1,38 @@
+"""X server model.
+
+Application frames and page content are drawn by the X server process;
+its energy shows up as a distinct shading in every profile figure of
+the paper.  The model charges CPU bursts under the process name ``X``,
+with cost proportional to the drawn window area (video) or content
+bytes (maps) — the paper observes X energy is proportional to window
+area and insensitive to the video compression level.
+"""
+
+from __future__ import annotations
+
+__all__ = ["XServer", "X_PROCESS"]
+
+X_PROCESS = "X"
+
+
+class XServer:
+    """Renders on behalf of applications, charging CPU time to ``X``."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.requests = 0
+
+    def render_seconds(self, seconds, procedure="_Dispatch"):
+        """Generator: draw for a precomputed number of CPU seconds."""
+        self.requests += 1
+        if seconds <= 0:
+            return
+        yield from self.machine.compute(seconds, X_PROCESS, procedure)
+
+    def render_pixels(self, pixels, s_per_pixel, procedure="_PutImage"):
+        """Generator: draw a region whose cost scales with its area."""
+        yield from self.render_seconds(pixels * s_per_pixel, procedure)
+
+    def render_bytes(self, nbytes, s_per_byte, procedure="_DrawSegments"):
+        """Generator: draw content whose cost scales with its size."""
+        yield from self.render_seconds(nbytes * s_per_byte, procedure)

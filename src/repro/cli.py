@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Lets a user regenerate any of the paper's experiments without writing
+code:
+
+* ``python -m repro fig06|fig08|fig10|fig13`` — print a figure's table
+* ``python -m repro goal --energy 6000 --goal 400`` — one goal run
+  with an ASCII supply/demand chart
+* ``python -m repro profile --seconds 20`` — a PowerScope profile
+* ``python -m repro report`` — headline results vs the paper's bands
+* ``python -m repro export-figures DIR`` — every figure's plot data
+  as CSV
+
+Pass ``--csv PATH`` where supported to also write machine-readable
+output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import render_table
+from repro.analysis.export import energy_table_csv, timeline_csv, write_csv
+
+__all__ = ["main"]
+
+
+def _cmd_energy_table(args, table_fn, label):
+    table = table_fn(think_time_s=args.think) if args.think is not None else table_fn()
+    objects = list(next(iter(table.values())))
+    rows = [
+        [config] + [f"{table[config][obj]:.1f}" for obj in objects]
+        for config in table
+    ]
+    print(render_table(["config (J)"] + objects, rows, title=label))
+    if args.csv:
+        write_csv(args.csv, energy_table_csv(table, objects))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_goal(args):
+    from repro.experiments import (
+        derive_goals,
+        fidelity_runtime_bounds,
+        run_goal_experiment,
+    )
+
+    goal = args.goal
+    if goal is None:
+        t_hi, t_lo = fidelity_runtime_bounds(args.energy)
+        goal = derive_goals(t_hi, t_lo, count=3)[1]
+        print(f"fidelity bounds {t_hi:.0f}-{t_lo:.0f}s; derived goal {goal:.0f}s")
+    result = run_goal_experiment(
+        goal, initial_energy=args.energy, halflife_fraction=args.halflife
+    )
+    print(f"goal {result.goal_seconds:.0f}s: "
+          f"{'MET' if result.goal_met else 'MISSED'} "
+          f"(survived {result.survived_seconds:.0f}s, "
+          f"residual {result.residual_energy:.0f} J)")
+    print("adaptations:", result.adaptations)
+    if not args.no_chart:
+        from repro.analysis import ascii_chart
+
+        supply = result.timeline.series("energy", "supply")
+        demand = result.timeline.series("energy", "demand")
+        if supply[0]:
+            print()
+            print(ascii_chart(
+                [supply, demand],
+                labels=["supply", "demand"],
+                title="supply vs predicted demand (Figure 19 style)",
+            ))
+    if args.csv:
+        write_csv(args.csv, timeline_csv(result.timeline,
+                                         categories={"energy", "fidelity"}))
+        print(f"wrote {args.csv}")
+    return 0 if result.goal_met else 1
+
+
+def _cmd_profile(args):
+    from repro.experiments import build_rig
+    from repro.powerscope import profile_run, render_profile
+    from repro.workloads.videos import VideoClip
+
+    rig = build_rig(pm_enabled=not args.no_pm)
+    clip = VideoClip("cli-clip", args.seconds, 12.0, 16_250)
+    player = rig.apps["video"]
+    rig.sim.spawn(player.play(clip))
+    profile = profile_run(rig.machine, until=args.seconds, rate_hz=args.rate)
+    print(render_profile(profile, detail_process="xanim"))
+    return 0
+
+
+def build_parser():
+    """Build the argparse parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Energy-aware adaptation for mobile "
+                    "applications' (SOSP 1999).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig, label in (
+        ("fig06", "Figure 6 — video energy by fidelity"),
+        ("fig08", "Figure 8 — speech energy by strategy"),
+        ("fig10", "Figure 10 — map energy by fidelity"),
+        ("fig13", "Figure 13 — Web energy by JPEG quality"),
+    ):
+        p = sub.add_parser(fig, help=label)
+        p.add_argument("--think", type=float, default=None,
+                       help="think time in seconds (map/web only)")
+        p.add_argument("--csv", help="also write the table as CSV")
+
+    p = sub.add_parser("goal", help="run one goal-directed experiment")
+    p.add_argument("--energy", type=float, default=6000.0,
+                   help="initial energy in joules")
+    p.add_argument("--goal", type=float, default=None,
+                   help="battery-duration goal in seconds (derived if omitted)")
+    p.add_argument("--halflife", type=float, default=0.10,
+                   help="smoothing half-life fraction")
+    p.add_argument("--csv", help="write the supply/demand/fidelity trace as CSV")
+    p.add_argument("--no-chart", action="store_true",
+                   help="skip the ASCII supply/demand chart")
+
+    p = sub.add_parser("profile", help="PowerScope profile of video playback")
+    p.add_argument("--seconds", type=float, default=20.0)
+    p.add_argument("--rate", type=float, default=600.0,
+                   help="sampling rate in Hz")
+    p.add_argument("--no-pm", action="store_true",
+                   help="disable hardware power management")
+
+    p = sub.add_parser(
+        "export-figures", help="write every figure's plot data as CSV"
+    )
+    p.add_argument("directory", help="output directory")
+    p.add_argument("--figures", nargs="*", default=None,
+                   help="subset of figure ids (default: all)")
+
+    p = sub.add_parser(
+        "report", help="headline results across all experiments"
+    )
+    p.add_argument("--no-goal", action="store_true",
+                   help="skip the goal-directed experiments")
+    p.add_argument("--no-concurrency", action="store_true",
+                   help="skip the concurrency experiment")
+    p.add_argument("--energy", type=float, default=6000.0,
+                   help="initial energy for the goal experiments")
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig06":
+        from repro.experiments import video_energy_table
+
+        table_fn = lambda **kw: video_energy_table()
+        return _cmd_energy_table(args, table_fn, "Figure 6 — video")
+    if args.command == "fig08":
+        from repro.experiments import speech_energy_table
+
+        table_fn = lambda **kw: speech_energy_table()
+        return _cmd_energy_table(args, table_fn, "Figure 8 — speech")
+    if args.command == "fig10":
+        from repro.experiments import map_energy_table
+
+        return _cmd_energy_table(args, map_energy_table, "Figure 10 — map")
+    if args.command == "fig13":
+        from repro.experiments import web_energy_table
+
+        return _cmd_energy_table(args, web_energy_table, "Figure 13 — web")
+    if args.command == "goal":
+        return _cmd_goal(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "export-figures":
+        from repro.experiments import export_figures
+
+        written = export_figures(args.directory, figures=args.figures)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    if args.command == "report":
+        from repro.experiments import full_report, render_report
+
+        report = full_report(
+            include_concurrency=not args.no_concurrency,
+            include_goal=not args.no_goal,
+            goal_energy=args.energy,
+        )
+        print(render_report(report))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

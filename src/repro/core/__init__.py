@@ -1,0 +1,45 @@
+"""Odyssey core: fidelity adaptation and goal-directed energy management."""
+
+from repro.core.cache import CacheError, DiskCache
+from repro.core.demand import DemandPredictor, alpha_for_halflife
+from repro.core.expectations import (
+    ExpectationError,
+    ExpectationMonitor,
+    ExpectationRegistry,
+    ResourceWindow,
+)
+from repro.core.fidelity import FidelityError, FidelityLadder
+from repro.core.goal import GoalDirectedController
+from repro.core.hysteresis import DEGRADE, HOLD, UPGRADE, AdaptationTrigger
+from repro.core.odyssey import MEASURED_OVERHEAD_W, Odyssey
+from repro.core.priority import PriorityLadder
+from repro.core.supply import EnergySupply
+from repro.core.upcalls import Upcall
+from repro.core.viceroy import Viceroy
+from repro.core.warden import Warden, WardenError
+
+__all__ = [
+    "FidelityLadder",
+    "FidelityError",
+    "Warden",
+    "WardenError",
+    "Viceroy",
+    "Upcall",
+    "EnergySupply",
+    "DemandPredictor",
+    "alpha_for_halflife",
+    "AdaptationTrigger",
+    "HOLD",
+    "DEGRADE",
+    "UPGRADE",
+    "PriorityLadder",
+    "GoalDirectedController",
+    "Odyssey",
+    "MEASURED_OVERHEAD_W",
+    "DiskCache",
+    "CacheError",
+    "ResourceWindow",
+    "ExpectationRegistry",
+    "ExpectationMonitor",
+    "ExpectationError",
+]

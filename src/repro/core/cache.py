@@ -1,0 +1,129 @@
+"""Energy-aware client data caching.
+
+Odyssey is implemented as a Linux VFS file system (paper Section 2.2),
+so wardens can cache fetched data on the local disk.  Whether that
+*saves* energy is the classic trade-off studied by the disk-management
+work the paper cites (Douglis et al., Li et al.): a cache hit avoids
+the wireless fetch but may have to spin the disk up, and keeping the
+disk spinning costs 0.72 W over standby.
+
+:class:`DiskCache` implements an LRU byte-capacity cache whose reads
+and writes run through the machine's disk power model, and
+:meth:`DiskCache.fetch_through` wraps any network fetch with
+cache-first behaviour so experiments can measure the crossover.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["DiskCache", "CacheError"]
+
+
+class CacheError(Exception):
+    """Invalid cache configuration or operation."""
+
+
+class DiskCache:
+    """LRU disk cache with energy-accurate hits and fills.
+
+    Parameters
+    ----------
+    machine:
+        Machine whose ``disk`` component backs the cache.
+    capacity_bytes:
+        Maximum resident bytes; least-recently-used entries evict.
+    power_manager:
+        Optional :class:`~repro.hardware.PowerManager`; disk activity
+        resets its spin-down timer so the disk behaves realistically
+        around cache traffic.
+    write_back:
+        Fill the cache on miss (True) or operate read-only (False).
+    """
+
+    def __init__(self, machine, capacity_bytes, power_manager=None,
+                 write_back=True):
+        if capacity_bytes <= 0:
+            raise CacheError(f"capacity must be positive, got {capacity_bytes}")
+        if "disk" not in machine.components:
+            raise CacheError("machine has no disk to back the cache")
+        self.machine = machine
+        self.capacity_bytes = capacity_bytes
+        self.power_manager = power_manager
+        self.write_back = write_back
+        self._entries = OrderedDict()  # key -> nbytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def disk(self):
+        return self.machine["disk"]
+
+    @property
+    def resident_bytes(self):
+        return sum(self._entries.values())
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def read(self, key, process="odyssey"):
+        """Generator: read a cached object from disk; returns its bytes.
+
+        Raises ``KeyError`` for absent keys — call sites decide between
+        :meth:`read` and a network fetch via :meth:`fetch_through`.
+        """
+        if key not in self._entries:
+            raise KeyError(f"cache miss for {key!r}")
+        nbytes = self._entries[key]
+        self._entries.move_to_end(key)
+        self.hits += 1
+        yield from self.disk.read(self.machine, nbytes, process=process,
+                                  procedure="_cache_read")
+        self._note_activity()
+        return nbytes
+
+    def insert(self, key, nbytes, process="odyssey"):
+        """Generator: write an object into the cache, evicting LRU."""
+        if nbytes > self.capacity_bytes:
+            return  # too large to ever cache; skip silently
+        while self.resident_bytes + nbytes > self.capacity_bytes:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = nbytes
+        yield from self.disk.write(self.machine, nbytes, process=process,
+                                   procedure="_cache_write")
+        self._note_activity()
+
+    def fetch_through(self, key, fetch_generator_fn, process="odyssey"):
+        """Generator: cache-first fetch.
+
+        On hit, the object is read from disk; on miss,
+        ``fetch_generator_fn()`` runs (a network fetch returning the
+        object's size in bytes) and, in write-back mode, the result is
+        inserted.  Returns ``(nbytes, hit)``.
+        """
+        if key in self._entries:
+            nbytes = yield from self.read(key, process=process)
+            return nbytes, True
+        self.misses += 1
+        nbytes = yield from fetch_generator_fn()
+        if self.write_back:
+            yield from self.insert(key, nbytes, process=process)
+        return nbytes, False
+
+    def invalidate(self, key=None):
+        """Drop one entry (or everything when ``key`` is None)."""
+        if key is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(key, None)
+
+    def _note_activity(self):
+        if self.power_manager is not None:
+            self.power_manager.note_disk_activity()

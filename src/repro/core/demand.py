@@ -1,0 +1,68 @@
+"""Future energy-demand prediction (paper Section 5.1.2).
+
+Odyssey relies on smoothed observations of present and past power
+usage — not on applications declaring future usage.  The smoothing
+function is ``new = (1 - alpha) * sample + alpha * old``; alpha is set
+so that the half-life of the decay equals a fixed fraction (10 % after
+the paper's sensitivity analysis, Figure 21) of the time remaining
+until the goal.  Distant goal -> large alpha -> stability; imminent
+goal -> small alpha -> agility.
+
+Predicted demand is the smoothed power multiplied by the time
+remaining.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DemandPredictor", "alpha_for_halflife"]
+
+
+def alpha_for_halflife(halflife, dt):
+    """Per-sample old-estimate weight giving the requested half-life.
+
+    After ``halflife`` seconds of samples arriving every ``dt`` seconds
+    the weight of the old estimate must have decayed to one half:
+    ``alpha ** (halflife / dt) == 0.5``.
+    """
+    if dt <= 0:
+        raise ValueError(f"sample interval must be positive, got {dt}")
+    if halflife <= 0:
+        return 0.0  # no memory: agility dominates at the goal boundary
+    return 0.5 ** (dt / halflife)
+
+
+class DemandPredictor:
+    """Exponentially smoothed power estimator with goal-relative half-life.
+
+    Parameters
+    ----------
+    halflife_fraction:
+        Half-life as a fraction of time remaining to the goal (paper
+        default 0.10; Figure 21 sweeps 0.01–0.15).
+    """
+
+    def __init__(self, halflife_fraction=0.10):
+        if halflife_fraction <= 0:
+            raise ValueError(
+                f"half-life fraction must be positive, got {halflife_fraction}"
+            )
+        self.halflife_fraction = halflife_fraction
+        self.smoothed_watts = None
+        self.samples_seen = 0
+
+    def update(self, watts, dt, time_remaining):
+        """Fold one power sample into the smoothed estimate."""
+        self.samples_seen += 1
+        if self.smoothed_watts is None:
+            self.smoothed_watts = watts
+            return self.smoothed_watts
+        halflife = self.halflife_fraction * max(0.0, time_remaining)
+        alpha = alpha_for_halflife(halflife, dt)
+        self.smoothed_watts = (1.0 - alpha) * watts + alpha * self.smoothed_watts
+        return self.smoothed_watts
+
+    def predict(self, time_remaining):
+        """Predicted energy demand (joules) until the goal."""
+        if self.smoothed_watts is None:
+            return 0.0
+        return self.smoothed_watts * max(0.0, time_remaining)

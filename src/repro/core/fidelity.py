@@ -1,0 +1,100 @@
+"""Fidelity: the degree to which data presented at the client matches
+the reference copy at the server (paper Section 2.2).
+
+Fidelity is type-specific — video degrades by lossy compression and
+window size, speech by vocabulary/acoustic-model complexity, maps by
+filtering and cropping, images by JPEG quality.  For adaptation
+purposes each application exposes an ordered *ladder* of named fidelity
+configurations; Odyssey moves applications up and down their ladders.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FidelityError", "FidelityLadder"]
+
+
+class FidelityError(Exception):
+    """Invalid fidelity specification or transition."""
+
+
+class FidelityLadder:
+    """An ordered set of fidelity levels for one application.
+
+    Index 0 is the *lowest* fidelity (maximum energy savings) and the
+    last index the *highest* (best user experience).  Applications
+    start at the highest fidelity — Odyssey's secondary goal is to
+    offer as high a fidelity as possible at all times (Section 5.1).
+
+    Examples
+    --------
+    >>> ladder = FidelityLadder("video", ["combined", "premiere-c", "baseline"])
+    >>> ladder.current
+    'baseline'
+    >>> ladder.degrade()
+    'premiere-c'
+    >>> ladder.at_bottom
+    False
+    """
+
+    def __init__(self, name, levels, start=None):
+        if not levels:
+            raise FidelityError(f"{name}: at least one fidelity level required")
+        if len(set(levels)) != len(levels):
+            raise FidelityError(f"{name}: duplicate fidelity levels {levels}")
+        self.name = name
+        self.levels = list(levels)
+        self.index = len(levels) - 1 if start is None else self.levels.index(start)
+        self.transitions = 0
+
+    def __len__(self):
+        return len(self.levels)
+
+    def __repr__(self):
+        return f"<FidelityLadder {self.name} {self.current!r} ({self.index + 1}/{len(self)})>"
+
+    @property
+    def current(self):
+        """Name of the current fidelity level."""
+        return self.levels[self.index]
+
+    @property
+    def at_top(self):
+        """True at the highest fidelity (no upgrade possible)."""
+        return self.index == len(self.levels) - 1
+
+    @property
+    def at_bottom(self):
+        """True at the lowest fidelity (no degrade possible)."""
+        return self.index == 0
+
+    def degrade(self):
+        """Step one level down; returns the new level name."""
+        if self.at_bottom:
+            raise FidelityError(f"{self.name}: already at lowest fidelity")
+        self.index -= 1
+        self.transitions += 1
+        return self.current
+
+    def upgrade(self):
+        """Step one level up; returns the new level name."""
+        if self.at_top:
+            raise FidelityError(f"{self.name}: already at highest fidelity")
+        self.index += 1
+        self.transitions += 1
+        return self.current
+
+    def set_level(self, level):
+        """Jump directly to a named level (counts as one transition)."""
+        if level not in self.levels:
+            raise FidelityError(f"{self.name}: unknown level {level!r}")
+        new_index = self.levels.index(level)
+        if new_index != self.index:
+            self.index = new_index
+            self.transitions += 1
+        return self.current
+
+    def normalized(self):
+        """Position in [0, 1]: 0 = lowest fidelity, 1 = highest."""
+        if len(self.levels) == 1:
+            return 1.0
+        return self.index / (len(self.levels) - 1)

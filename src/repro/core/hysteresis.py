@@ -1,0 +1,57 @@
+"""Adaptation triggering with hysteresis (paper Section 5.1.3).
+
+Degrade when predicted demand exceeds residual energy.  Upgrade only
+when residual energy exceeds predicted demand by a margin that is the
+sum of two components:
+
+* a *variable* component, 5 % of residual energy — bias toward
+  stability when energy is plentiful, agility when it is scarce;
+* a *constant* component, 1 % of the initial energy — bias against
+  fidelity improvements when residual energy is low.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdaptationTrigger", "HOLD", "DEGRADE", "UPGRADE"]
+
+HOLD = "hold"
+DEGRADE = "degrade"
+UPGRADE = "upgrade"
+
+
+class AdaptationTrigger:
+    """Decides degrade / upgrade / hold from supply and demand."""
+
+    def __init__(self, initial_energy, variable_fraction=0.05,
+                 constant_fraction=0.01, safety_fraction=0.0):
+        if initial_energy <= 0:
+            raise ValueError(f"initial energy must be positive, got {initial_energy}")
+        if variable_fraction < 0 or constant_fraction < 0:
+            raise ValueError("hysteresis fractions must be >= 0")
+        if not 0.0 <= safety_fraction < 1.0:
+            raise ValueError(f"safety fraction {safety_fraction} outside [0, 1)")
+        self.initial_energy = initial_energy
+        self.variable_fraction = variable_fraction
+        self.constant_fraction = constant_fraction
+        self.safety_fraction = safety_fraction
+
+    def upgrade_margin(self, residual):
+        """Joules by which supply must exceed demand to allow an upgrade."""
+        return (
+            self.variable_fraction * max(0.0, residual)
+            + self.constant_fraction * self.initial_energy
+        )
+
+    def decide(self, predicted_demand, residual):
+        """Return ``"degrade"``, ``"upgrade"`` or ``"hold"``.
+
+        A small safety fraction biases degradation conservative: the
+        smoothed-power predictor under-estimates upcoming bursts during
+        workload lulls, so demand is compared against slightly less
+        than the full residual.
+        """
+        if predicted_demand > residual * (1.0 - self.safety_fraction):
+            return DEGRADE
+        if residual - predicted_demand > self.upgrade_margin(residual):
+            return UPGRADE
+        return HOLD

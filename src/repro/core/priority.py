@@ -1,0 +1,62 @@
+"""Priority-based selection of which application adapts (Section 5.1.3).
+
+When multiple applications execute concurrently, Odyssey always tries
+to degrade a lower-priority application before degrading a
+higher-priority one; upgrades occur in the reverse order.  Priorities
+are static user-specified integers (larger = more important).
+"""
+
+from __future__ import annotations
+
+__all__ = ["PriorityLadder"]
+
+
+class PriorityLadder:
+    """Orders adaptive applications for degrade/upgrade selection.
+
+    Entries are objects exposing ``name``, ``priority``, ``can_degrade()``,
+    ``can_upgrade()``, ``degrade()`` and ``upgrade()`` — the protocol
+    implemented by :class:`repro.apps.base.AdaptiveApplication` and by
+    the lightweight clients used in tests.
+    """
+
+    def __init__(self, applications=()):
+        self.applications = list(applications)
+        self._check_unique_names()
+
+    def _check_unique_names(self):
+        names = [app.name for app in self.applications]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate application names: {names}")
+
+    def add(self, application):
+        self.applications.append(application)
+        self._check_unique_names()
+
+    def remove(self, name):
+        self.applications = [a for a in self.applications if a.name != name]
+
+    def by_priority(self, ascending=True):
+        """Applications sorted by priority (ties break by insertion order)."""
+        indexed = list(enumerate(self.applications))
+        indexed.sort(key=lambda pair: (pair[1].priority, pair[0]),
+                     reverse=not ascending)
+        return [app for _i, app in indexed]
+
+    def pick_degrade(self):
+        """Lowest-priority application that can still degrade, or None."""
+        for app in self.by_priority(ascending=True):
+            if app.can_degrade():
+                return app
+        return None
+
+    def pick_upgrade(self):
+        """Highest-priority application that can still upgrade, or None.
+
+        The reverse of degradation order: the most important
+        application recovers fidelity first.
+        """
+        for app in self.by_priority(ascending=False):
+            if app.can_upgrade():
+                return app
+        return None

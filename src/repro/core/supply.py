@@ -1,0 +1,48 @@
+"""Residual-energy accounting (paper Section 5.1.1).
+
+Odyssey is given an initial energy value and thereafter determines
+residual energy by integrating measured power, assuming constant power
+consumption between samples.  This is Odyssey's *belief* about the
+battery — deliberately separate from the hardware battery model, whose
+ground truth the belief should track (tests assert it does).
+"""
+
+from __future__ import annotations
+
+__all__ = ["EnergySupply"]
+
+
+class EnergySupply:
+    """Tracks residual energy from periodic power samples."""
+
+    def __init__(self, initial_joules):
+        if initial_joules <= 0:
+            raise ValueError(f"initial energy must be positive, got {initial_joules}")
+        self.initial = float(initial_joules)
+        self.consumed = 0.0
+
+    def on_sample(self, _time, watts, dt):
+        """Integrate one power sample over its interval."""
+        if dt < 0:
+            raise ValueError(f"negative sample interval {dt}")
+        self.consumed += watts * dt
+
+    @property
+    def residual(self):
+        """Joules Odyssey believes remain (may go negative if overrun)."""
+        return self.initial - self.consumed
+
+    @property
+    def fraction_remaining(self):
+        return max(0.0, self.residual) / self.initial
+
+    @property
+    def depleted(self):
+        """True once the believed residual reaches zero."""
+        return self.residual <= 0.0
+
+    def add(self, joules):
+        """Credit extra energy (e.g. a revised user estimate)."""
+        if joules < 0:
+            raise ValueError(f"cannot add negative energy {joules}")
+        self.initial += joules

@@ -1,0 +1,39 @@
+"""Upcall notifications from Odyssey to applications.
+
+When resource levels stray beyond an application's expectation, Odyssey
+notifies it through an upcall (paper Section 2.2); the application then
+adjusts its fidelity to match the new resource level.  For energy the
+two upcall kinds are *degrade* (predicted demand exceeds supply) and
+*upgrade* (supply comfortably exceeds demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Upcall", "DEGRADE", "UPGRADE"]
+
+DEGRADE = "degrade"
+UPGRADE = "upgrade"
+
+
+@dataclass(frozen=True)
+class Upcall:
+    """One notification delivered to an application.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of delivery.
+    kind:
+        ``"degrade"`` or ``"upgrade"``.
+    application:
+        Target application name.
+    new_level:
+        The fidelity level the application moved to.
+    """
+
+    time: float
+    kind: str
+    application: str
+    new_level: str

@@ -1,0 +1,113 @@
+"""The viceroy: Odyssey's resource monitor and manager (Section 2.2).
+
+The viceroy is responsible for monitoring the availability of resources
+and managing their use.  For energy it keeps the warden registry and
+the set of registered adaptive applications with their priorities, and
+delivers degrade/upgrade upcalls chosen by the priority ladder.
+"""
+
+from __future__ import annotations
+
+from repro.core.priority import PriorityLadder
+from repro.core.upcalls import DEGRADE, UPGRADE, Upcall
+from repro.core.warden import WardenError
+
+__all__ = ["Viceroy"]
+
+
+class Viceroy:
+    """Warden registry + application registry + upcall delivery."""
+
+    def __init__(self, sim, timeline=None):
+        self.sim = sim
+        self.timeline = timeline
+        self.wardens = {}
+        self.ladder = PriorityLadder()
+        self.upcalls = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_warden(self, warden):
+        """Add a type-specific warden (one per data type)."""
+        if warden.data_type in self.wardens:
+            raise WardenError(f"warden for {warden.data_type!r} already registered")
+        self.wardens[warden.data_type] = warden
+        return warden
+
+    def warden_for(self, data_type):
+        """Look up the warden serving ``data_type``."""
+        if data_type not in self.wardens:
+            raise WardenError(f"no warden registered for {data_type!r}")
+        return self.wardens[data_type]
+
+    def register_application(self, application):
+        """Register an adaptive application for energy adaptation."""
+        self.ladder.add(application)
+        self._record_fidelity(application)
+        return application
+
+    @property
+    def applications(self):
+        return list(self.ladder.applications)
+
+    def set_priority(self, name, priority):
+        """Change an application's priority at runtime.
+
+        The paper's prototype used static priorities but was
+        implementing "an interface to allow users to change priority
+        dynamically" (Section 5.1.3); subsequent degrade/upgrade
+        decisions use the new ordering immediately.
+        """
+        for app in self.ladder.applications:
+            if app.name == name:
+                app.priority = priority
+                return app
+        raise KeyError(f"no application named {name!r}")
+
+    # ------------------------------------------------------------------
+    # upcall delivery
+    # ------------------------------------------------------------------
+    def degrade_once(self):
+        """Degrade the lowest-priority degradable app; None if none can."""
+        app = self.ladder.pick_degrade()
+        if app is None:
+            return None
+        new_level = app.degrade()
+        return self._log_upcall(DEGRADE, app, new_level)
+
+    def upgrade_once(self):
+        """Upgrade the highest-priority upgradable app; None if none can."""
+        app = self.ladder.pick_upgrade()
+        if app is None:
+            return None
+        new_level = app.upgrade()
+        return self._log_upcall(UPGRADE, app, new_level)
+
+    def _log_upcall(self, kind, app, new_level):
+        upcall = Upcall(self.sim.now, kind, app.name, new_level)
+        self.upcalls.append(upcall)
+        self._record_fidelity(app)
+        return upcall
+
+    def _record_fidelity(self, app):
+        if self.timeline is not None:
+            level = getattr(app, "fidelity_level", None)
+            normalized = getattr(app, "fidelity_normalized", None)
+            self.timeline.record(
+                self.sim.now,
+                "fidelity",
+                app.name,
+                (level() if callable(level) else level,
+                 normalized() if callable(normalized) else normalized),
+            )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def adaptation_counts(self):
+        """Number of upcalls delivered per application name."""
+        counts = {app.name: 0 for app in self.ladder.applications}
+        for upcall in self.upcalls:
+            counts[upcall.application] = counts.get(upcall.application, 0) + 1
+        return counts

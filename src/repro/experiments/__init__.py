@@ -1,0 +1,77 @@
+"""Experiment definitions: one module per section of the paper's evaluation."""
+
+from repro.experiments.concurrency import (
+    CONCURRENCY_CONFIGS,
+    concurrency_table,
+    measure_composite,
+)
+from repro.experiments.fidelity_study import (
+    MAP_CONFIGS,
+    SPEECH_CONFIGS,
+    VIDEO_CONFIGS,
+    WEB_CONFIGS,
+    map_energy_table,
+    measure_map,
+    measure_speech,
+    measure_video,
+    measure_web,
+    speech_energy_table,
+    video_energy_table,
+    web_energy_table,
+)
+from repro.experiments.goal_study import (
+    GoalResult,
+    build_goal_rig,
+    derive_goals,
+    fidelity_runtime_bounds,
+    halflife_sweep,
+    run_bursty_experiment,
+    run_goal_experiment,
+)
+from repro.experiments.rig import Rig, build_rig
+from repro.experiments.runner import run_trials, trial_costs
+from repro.experiments.figures import FIGURES, export_figures
+from repro.experiments.summary import full_report, render_report
+from repro.experiments.zoned_study import (
+    ZONE_GRIDS,
+    measure_map_zoned,
+    measure_video_zoned,
+    zoned_table,
+)
+
+__all__ = [
+    "Rig",
+    "build_rig",
+    "run_trials",
+    "trial_costs",
+    "VIDEO_CONFIGS",
+    "SPEECH_CONFIGS",
+    "MAP_CONFIGS",
+    "WEB_CONFIGS",
+    "measure_video",
+    "measure_speech",
+    "measure_map",
+    "measure_web",
+    "video_energy_table",
+    "speech_energy_table",
+    "map_energy_table",
+    "web_energy_table",
+    "CONCURRENCY_CONFIGS",
+    "measure_composite",
+    "concurrency_table",
+    "ZONE_GRIDS",
+    "measure_video_zoned",
+    "measure_map_zoned",
+    "zoned_table",
+    "GoalResult",
+    "build_goal_rig",
+    "run_goal_experiment",
+    "fidelity_runtime_bounds",
+    "derive_goals",
+    "halflife_sweep",
+    "run_bursty_experiment",
+    "full_report",
+    "render_report",
+    "FIGURES",
+    "export_figures",
+]

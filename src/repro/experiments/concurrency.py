@@ -1,0 +1,75 @@
+"""Section 3.7: the effect of concurrency on energy usage.
+
+The composite application (six iterations of speech + Web + map with
+think time) runs in isolation and then concurrently with the video
+player acting as a background newsfeed.  Three configurations: baseline
+(full fidelity, no power management), hardware-only power management,
+and lowest fidelity with power management — the three bar pairs of
+Figure 15.
+"""
+
+from __future__ import annotations
+
+from repro.apps import CompositeApplication
+from repro.experiments.rig import build_rig
+from repro.workloads.videos import VIDEO_CLIPS
+
+__all__ = ["CONCURRENCY_CONFIGS", "measure_composite", "concurrency_table"]
+
+# (hardware PM, fidelity setting) where fidelity is "highest"/"lowest".
+CONCURRENCY_CONFIGS = {
+    "baseline": (False, "highest"),
+    "hw-only": (True, "highest"),
+    "lowest-fidelity": (True, "lowest"),
+}
+
+LOWEST_LEVELS = {
+    "speech": "reduced",
+    "web": "jpeg-5",
+    "map": "crop-secondary",
+    "video": "combined",
+}
+
+
+def _apply_fidelity(rig, setting):
+    if setting == "lowest":
+        for name, level in LOWEST_LEVELS.items():
+            rig.apps[name].set_fidelity(level)
+    elif setting != "highest":
+        raise ValueError(f"unknown fidelity setting {setting!r}")
+
+
+def measure_composite(config, with_video, iterations=6, costs=None):
+    """Energy (J) for the composite workload, optionally with video.
+
+    Measurement ends when the composite finishes; the video loops as a
+    background newsfeed for as long as the composite runs.
+    """
+    pm_enabled, fidelity = CONCURRENCY_CONFIGS[config]
+    rig = build_rig(pm_enabled=pm_enabled, costs=costs)
+    _apply_fidelity(rig, fidelity)
+    composite = CompositeApplication(
+        rig.apps["speech"], rig.apps["web"], rig.apps["map"]
+    )
+    main = rig.sim.spawn(composite.run(iterations=iterations), name="composite")
+    if with_video:
+        player = rig.apps["video"]
+        clip = VIDEO_CLIPS[0]
+
+        def newsfeed():
+            # Far horizon: the background feed outlives the composite.
+            yield from player.play_loop(clip, duration=1e7)
+
+        rig.sim.spawn(newsfeed(), name="newsfeed")
+    return rig.run_until_complete(main)
+
+
+def concurrency_table(iterations=6, costs=None):
+    """The six Figure 15 values: {config: {"alone"/"concurrent": J}}."""
+    return {
+        config: {
+            "alone": measure_composite(config, False, iterations, costs),
+            "concurrent": measure_composite(config, True, iterations, costs),
+        }
+        for config in CONCURRENCY_CONFIGS
+    }

@@ -1,0 +1,166 @@
+"""Section 3 fidelity experiments: one function per figure.
+
+Each measurement follows the paper's protocol: the object is processed
+at a fixed fidelity configuration with dynamic adaptation disabled, and
+the client's energy is recorded from experiment start to workload end.
+The configuration names below are the figures' bar labels.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.rig import build_rig
+from repro.workloads.images import IMAGES
+from repro.workloads.maps import MAPS
+from repro.workloads.utterances import UTTERANCES
+from repro.workloads.videos import VIDEO_CLIPS
+
+__all__ = [
+    "VIDEO_CONFIGS",
+    "SPEECH_CONFIGS",
+    "MAP_CONFIGS",
+    "WEB_CONFIGS",
+    "measure_video",
+    "measure_speech",
+    "measure_map",
+    "measure_web",
+    "video_energy_table",
+    "speech_energy_table",
+    "map_energy_table",
+    "web_energy_table",
+]
+
+# Figure 6 bars: (hardware PM enabled, video fidelity level).
+VIDEO_CONFIGS = {
+    "baseline": (False, "baseline"),
+    "hw-only": (True, "baseline"),
+    "premiere-b": (True, "premiere-b"),
+    "premiere-c": (True, "premiere-c"),
+    "reduced-window": (True, "reduced-window"),
+    "combined": (True, "combined"),
+}
+
+# Figure 8 bars: (hardware PM, execution mode, speech model).
+SPEECH_CONFIGS = {
+    "baseline": (False, "local", "full"),
+    "hw-only": (True, "local", "full"),
+    "reduced": (True, "local", "reduced"),
+    "remote": (True, "remote", "full"),
+    "hybrid": (True, "hybrid", "full"),
+    "remote-reduced": (True, "remote", "reduced"),
+    "hybrid-reduced": (True, "hybrid", "reduced"),
+}
+
+# Figure 10 bars: (hardware PM, map fidelity).
+MAP_CONFIGS = {
+    "baseline": (False, "full"),
+    "hw-only": (True, "full"),
+    "minor-filter": (True, "minor-filter"),
+    "secondary-filter": (True, "secondary-filter"),
+    "cropped": (True, "cropped"),
+    "crop-minor": (True, "crop-minor"),
+    "crop-secondary": (True, "crop-secondary"),
+}
+
+# Figure 13 bars: (hardware PM, JPEG quality).
+WEB_CONFIGS = {
+    "baseline": (False, "full"),
+    "hw-only": (True, "full"),
+    "jpeg-75": (True, "jpeg-75"),
+    "jpeg-50": (True, "jpeg-50"),
+    "jpeg-25": (True, "jpeg-25"),
+    "jpeg-5": (True, "jpeg-5"),
+}
+
+
+def measure_video(clip, config, costs=None):
+    """Energy (J) to play ``clip`` under a Figure 6 configuration."""
+    pm_enabled, level = VIDEO_CONFIGS[config]
+    rig = build_rig(pm_enabled=pm_enabled, costs=costs)
+    player = rig.apps["video"]
+    player.set_fidelity(level)
+    process = rig.sim.spawn(player.play(clip), name="video-exp")
+    return rig.run_until_complete(process)
+
+
+def measure_speech(utterance, config, costs=None):
+    """Energy (J) to recognize ``utterance`` under a Figure 8 config.
+
+    The display is turned off whenever power management is enabled —
+    speech interaction needs no screen (paper Section 3.1).
+    """
+    pm_enabled, mode, model = SPEECH_CONFIGS[config]
+    rig = build_rig(
+        pm_enabled=pm_enabled,
+        display_policy="off" if pm_enabled else "bright",
+        speech_mode=mode,
+        costs=costs,
+    )
+    recognizer = rig.apps["speech"]
+    recognizer.set_fidelity(model)
+    process = rig.sim.spawn(recognizer.recognize(utterance), name="speech-exp")
+    return rig.run_until_complete(process)
+
+
+def measure_map(city, config, think_time_s=5.0, costs=None):
+    """Energy (J) to fetch and view ``city`` under a Figure 10 config."""
+    pm_enabled, level = MAP_CONFIGS[config]
+    rig = build_rig(
+        pm_enabled=pm_enabled, think_time_s=think_time_s, costs=costs
+    )
+    viewer = rig.apps["map"]
+    process = rig.sim.spawn(viewer.view(city, fidelity=level), name="map-exp")
+    return rig.run_until_complete(process)
+
+
+def measure_web(image, config, think_time_s=5.0, costs=None):
+    """Energy (J) to fetch and view ``image`` under a Figure 13 config."""
+    pm_enabled, quality = WEB_CONFIGS[config]
+    rig = build_rig(
+        pm_enabled=pm_enabled, think_time_s=think_time_s, costs=costs
+    )
+    browser = rig.apps["web"]
+    process = rig.sim.spawn(browser.browse(image, quality=quality), name="web-exp")
+    return rig.run_until_complete(process)
+
+
+# ----------------------------------------------------------------------
+# whole-figure sweeps: {config: {object: joules}}
+# ----------------------------------------------------------------------
+def video_energy_table(costs=None, clips=VIDEO_CLIPS, configs=None):
+    configs = configs or VIDEO_CONFIGS
+    return {
+        config: {clip.name: measure_video(clip, config, costs) for clip in clips}
+        for config in configs
+    }
+
+
+def speech_energy_table(costs=None, utterances=UTTERANCES, configs=None):
+    configs = configs or SPEECH_CONFIGS
+    return {
+        config: {
+            utt.name: measure_speech(utt, config, costs) for utt in utterances
+        }
+        for config in configs
+    }
+
+
+def map_energy_table(costs=None, maps=MAPS, think_time_s=5.0, configs=None):
+    configs = configs or MAP_CONFIGS
+    return {
+        config: {
+            city.name: measure_map(city, config, think_time_s, costs)
+            for city in maps
+        }
+        for config in configs
+    }
+
+
+def web_energy_table(costs=None, images=IMAGES, think_time_s=5.0, configs=None):
+    configs = configs or WEB_CONFIGS
+    return {
+        config: {
+            image.name: measure_web(image, config, think_time_s, costs)
+            for image in images
+        }
+        for config in configs
+    }

@@ -1,0 +1,38 @@
+"""Trial runner: repeat an experiment with per-trial variation.
+
+The paper reports means of five (sometimes ten) trials with 90 %
+confidence intervals; run-to-run variation in the testbed came from
+wireless transfer times and scheduling noise.  Here each trial gets a
+seeded, slightly perturbed cost model, making the error bars meaningful
+while keeping the whole suite deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import summarize
+from repro.apps.costs import DEFAULT_COSTS
+
+__all__ = ["run_trials", "trial_costs"]
+
+
+def trial_costs(trial, base_costs=None, spread=0.03):
+    """The cost model for one trial (trial 0 = unperturbed calibration)."""
+    base = base_costs or DEFAULT_COSTS
+    if trial == 0:
+        return base
+    return base.jittered(seed=trial, spread=spread)
+
+
+def run_trials(experiment, trials=5, base_costs=None, spread=0.03):
+    """Run ``experiment(costs) -> float`` for several trials.
+
+    Returns a :class:`~repro.analysis.stats.TrialStats` over the trial
+    values.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    values = [
+        experiment(trial_costs(trial, base_costs, spread))
+        for trial in range(trials)
+    ]
+    return summarize(values)

@@ -1,0 +1,143 @@
+"""One-call summary of the reproduction's headline results.
+
+``full_report()`` runs a configurable subset of the paper's experiments
+and returns a nested dict of the headline numbers — the programmatic
+equivalent of EXPERIMENTS.md, used by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.concurrency import concurrency_table
+from repro.experiments.fidelity_study import (
+    map_energy_table,
+    speech_energy_table,
+    video_energy_table,
+    web_energy_table,
+)
+from repro.experiments.goal_study import (
+    derive_goals,
+    fidelity_runtime_bounds,
+    run_goal_experiment,
+)
+
+__all__ = ["full_report", "render_report"]
+
+# Paper bands for the quick-look comparison column.
+PAPER_BANDS = {
+    ("video", "hw-only"): "9-10%",
+    ("video", "lowest"): "~35%",
+    ("speech", "hw-only"): "33-34%",
+    ("speech", "lowest"): "69-80%",
+    ("map", "hw-only"): "9-19%",
+    ("map", "lowest"): "46-70%",
+    ("web", "hw-only"): "22-26%",
+    ("web", "lowest"): "29-34%",
+}
+
+LOWEST_CONFIG = {
+    "video": "combined",
+    "speech": "hybrid-reduced",
+    "map": "crop-secondary",
+    "web": "jpeg-5",
+}
+
+TABLES = {
+    "video": video_energy_table,
+    "speech": speech_energy_table,
+    "map": map_energy_table,
+    "web": web_energy_table,
+}
+
+
+def _band(values):
+    return min(values), max(values)
+
+
+def fidelity_summary():
+    """Per-application hardware-PM and lowest-fidelity savings bands."""
+    summary = {}
+    for app, table_fn in TABLES.items():
+        table = table_fn()
+        objects = list(table["baseline"])
+        hw = [
+            1 - table["hw-only"][o] / table["baseline"][o] for o in objects
+        ]
+        lowest = [
+            1 - table[LOWEST_CONFIG[app]][o] / table["baseline"][o]
+            for o in objects
+        ]
+        summary[app] = {
+            "hw-only": _band(hw),
+            "lowest": _band(lowest),
+        }
+    return summary
+
+
+def goal_summary(initial_energy=6_000.0):
+    """Fidelity bounds, derived goals, and whether each was met."""
+    t_hi, t_lo = fidelity_runtime_bounds(initial_energy)
+    goals = derive_goals(t_hi, t_lo, count=3)
+    outcomes = []
+    for goal in goals:
+        result = run_goal_experiment(goal, initial_energy=initial_energy)
+        outcomes.append({
+            "goal_seconds": goal,
+            "met": result.goal_met,
+            "residual": result.residual_energy,
+        })
+    return {
+        "initial_energy": initial_energy,
+        "bound_high_fidelity": t_hi,
+        "bound_low_fidelity": t_lo,
+        "goals": outcomes,
+    }
+
+
+def full_report(include_concurrency=True, include_goal=True,
+                goal_energy=6_000.0):
+    """Run the headline experiments; returns a nested dict."""
+    report = {"fidelity": fidelity_summary()}
+    if include_concurrency:
+        table = concurrency_table(iterations=2)
+        report["concurrency"] = {
+            config: pair["concurrent"] / pair["alone"] - 1
+            for config, pair in table.items()
+        }
+    if include_goal:
+        report["goal"] = goal_summary(goal_energy)
+    return report
+
+
+def render_report(report):
+    """Format :func:`full_report` output for the terminal."""
+    lines = ["Reproduction headline report", "=" * 30, ""]
+    lines.append("Fidelity savings vs baseline (min-max across objects):")
+    for app, bands in report["fidelity"].items():
+        hw_lo, hw_hi = bands["hw-only"]
+        low_lo, low_hi = bands["lowest"]
+        lines.append(
+            f"  {app:<7} hw-only {hw_lo:5.1%}-{hw_hi:5.1%} "
+            f"(paper {PAPER_BANDS[(app, 'hw-only')]})   "
+            f"lowest {low_lo:5.1%}-{low_hi:5.1%} "
+            f"(paper {PAPER_BANDS[(app, 'lowest')]})"
+        )
+    if "concurrency" in report:
+        lines.append("")
+        lines.append("Concurrency: energy added by the background video:")
+        for config, extra in report["concurrency"].items():
+            lines.append(f"  {config:<17} +{extra:.0%}")
+    if "goal" in report:
+        goal = report["goal"]
+        lines.append("")
+        lines.append(
+            f"Goal-directed adaptation on {goal['initial_energy']:.0f} J "
+            f"(bounds {goal['bound_high_fidelity']:.0f}-"
+            f"{goal['bound_low_fidelity']:.0f} s):"
+        )
+        for outcome in goal["goals"]:
+            status = "MET" if outcome["met"] else "MISSED"
+            lines.append(
+                f"  goal {outcome['goal_seconds']:6.0f} s  {status}  "
+                f"residual {outcome['residual']:.0f} J"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Section 4: projected energy impact of zoned backlighting.
+
+No display with zoned backlighting existed, so the paper *projects*
+energy usage from the design characteristics of the 560X: each zone
+draws power proportional to its area, the application's window
+determines which zones must be lit, and the rest of the panel is dark.
+The reproduction performs the same projection by running the video and
+map experiments on a machine whose display model is zoned: before the
+workload starts, exactly the zones under the application's window are
+lit and the remainder switched off.
+
+The paper considers a 4-zone (2x2) and an 8-zone (2x4) version and the
+video/map applications only (speech runs with the display off; Netscape
+is nearly full-screen, so zoning cannot help it).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fidelity_study import MAP_CONFIGS, VIDEO_CONFIGS
+from repro.experiments.rig import build_rig
+from repro.hardware.display import ZonedDisplay
+
+__all__ = ["ZONE_GRIDS", "measure_video_zoned", "measure_map_zoned", "zoned_table"]
+
+ZONE_GRIDS = {
+    "no-zones": None,
+    "4-zones": (2, 2),
+    "8-zones": (2, 4),
+}
+
+
+def _illuminate_for(rig, app):
+    """Light exactly the zones the application's window occupies."""
+    display = rig.machine["display"]
+    if not isinstance(display, ZonedDisplay):
+        return None
+    return display.illuminate([app.window_rect()], background=ZonedDisplay.OFF)
+
+
+def measure_video_zoned(clip, config, zones, costs=None):
+    """Video energy (J) under a Figure 18 zone configuration.
+
+    Returns ``(joules, zones_lit)``; ``zones_lit`` is None for the
+    stock display.
+    """
+    pm_enabled, level = VIDEO_CONFIGS[config]
+    rig = build_rig(pm_enabled=pm_enabled, costs=costs, zoned=ZONE_GRIDS[zones])
+    player = rig.apps["video"]
+    player.set_fidelity(level)
+    lit = _illuminate_for(rig, player)
+    process = rig.sim.spawn(player.play(clip), name="video-zoned")
+    return rig.run_until_complete(process), lit
+
+
+def measure_map_zoned(city, config, zones, think_time_s=5.0, costs=None):
+    """Map energy (J) under a Figure 18 zone configuration."""
+    pm_enabled, level = MAP_CONFIGS[config]
+    rig = build_rig(
+        pm_enabled=pm_enabled, costs=costs, zoned=ZONE_GRIDS[zones],
+        think_time_s=think_time_s,
+    )
+    viewer = rig.apps["map"]
+    # The viewer's window geometry follows its *ladder* fidelity; align
+    # it with the measured configuration so cropping shrinks the window.
+    if level in viewer.ladder.levels:
+        viewer.set_fidelity(level)
+    lit = _illuminate_for(rig, viewer)
+    process = rig.sim.spawn(viewer.view(city, fidelity=level), name="map-zoned")
+    return rig.run_until_complete(process), lit
+
+
+def zoned_table(objects, measure, configs, costs=None):
+    """Sweep zones x configs for one application.
+
+    ``measure(obj, config, zones)`` -> ``(joules, lit)``.
+    Returns ``{config: {zones: {object: joules}}}``.
+    """
+    table = {}
+    for config in configs:
+        table[config] = {}
+        for zones in ZONE_GRIDS:
+            table[config][zones] = {
+                obj.name: measure(obj, config, zones, costs=costs)[0]
+                for obj in objects
+            }
+    return table

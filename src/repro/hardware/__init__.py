@@ -1,0 +1,42 @@
+"""Hardware power models for the simulated IBM ThinkPad 560X testbed."""
+
+from repro.hardware.battery import Battery, ExternalSupply, SupplyError
+from repro.hardware.battery_models import (
+    PeukertBattery,
+    RecoveryBattery,
+    VoltageCurve,
+)
+from repro.hardware.component import HardwareError, PowerComponent
+from repro.hardware.cpu import Cpu
+from repro.hardware.disk import Disk
+from repro.hardware.display import Display, Rect, ZonedDisplay
+from repro.hardware.machine import IDLE_PROCESS, Machine
+from repro.hardware.memory import MemoryError_, MemorySystem
+from repro.hardware.power_mgmt import PowerManager
+from repro.hardware.wavelan import WaveLan
+from repro.hardware import thinkpad560x
+from repro.hardware.thinkpad560x import build_machine
+
+__all__ = [
+    "Battery",
+    "ExternalSupply",
+    "SupplyError",
+    "PeukertBattery",
+    "RecoveryBattery",
+    "VoltageCurve",
+    "HardwareError",
+    "PowerComponent",
+    "Cpu",
+    "Disk",
+    "Display",
+    "ZonedDisplay",
+    "Rect",
+    "WaveLan",
+    "Machine",
+    "IDLE_PROCESS",
+    "MemorySystem",
+    "MemoryError_",
+    "PowerManager",
+    "thinkpad560x",
+    "build_machine",
+]

@@ -1,0 +1,185 @@
+"""Non-ideal battery models.
+
+The paper deliberately removed the battery and used an external supply
+"to avoid confounding effects due to non-ideal battery behavior"
+(Section 3.2).  These models put those effects back, so the
+reproduction can quantify what the paper avoided: rate-dependent
+capacity (Peukert's law), recovery during light load, and a sloped
+discharge voltage curve.  They plug into the machine exactly like the
+ideal :class:`~repro.hardware.battery.Battery`.
+
+References in the paper's bibliography that study these effects:
+Douglis et al. on storage alternatives; the Smart Battery Data
+Specification the paper proposes as a measurement source.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hardware.battery import SupplyError
+
+__all__ = ["PeukertBattery", "RecoveryBattery", "VoltageCurve"]
+
+
+class PeukertBattery:
+    """Rate-dependent capacity following Peukert's law.
+
+    Discharging at a power ``p`` above the rated power drains an
+    *effective* energy of ``joules * (p / rated_power)**(k - 1)``:
+    heavy bursts waste capacity, light loads approach the ideal.
+    ``k`` is the Peukert exponent — 1.0 is an ideal battery; lithium-ion
+    cells of the era are ~1.05, lead-acid ~1.2.
+    """
+
+    def __init__(self, capacity_joules, rated_power_w, exponent=1.05):
+        if capacity_joules <= 0:
+            raise SupplyError(f"capacity must be positive, got {capacity_joules}")
+        if rated_power_w <= 0:
+            raise SupplyError(f"rated power must be positive, got {rated_power_w}")
+        if exponent < 1.0:
+            raise SupplyError(f"Peukert exponent must be >= 1, got {exponent}")
+        self.capacity = float(capacity_joules)
+        self.rated_power_w = float(rated_power_w)
+        self.exponent = float(exponent)
+        self.drawn = 0.0
+        self._last_power = rated_power_w
+
+    def note_power(self, watts):
+        """Record the instantaneous draw used to scale the next drain."""
+        if watts < 0:
+            raise SupplyError(f"negative power {watts}")
+        self._last_power = max(watts, 1e-9)
+
+    def drain(self, joules):
+        if joules < 0:
+            raise SupplyError(f"cannot drain negative energy {joules}")
+        ratio = self._last_power / self.rated_power_w
+        effective = joules * ratio ** (self.exponent - 1.0)
+        self.drawn = min(self.capacity, self.drawn + effective)
+
+    @property
+    def residual(self):
+        return self.capacity - self.drawn
+
+    @property
+    def exhausted(self):
+        return self.residual <= 0.0
+
+    @property
+    def fraction_remaining(self):
+        return self.residual / self.capacity
+
+
+class RecoveryBattery:
+    """Charge-recovery effect: idle periods restore a little capacity.
+
+    Models the relaxation of cell chemistry after bursts.  A fraction
+    of recently drained charge becomes available again while the draw
+    stays below a threshold.  Conservative and bounded: total recovered
+    energy never exceeds ``recovery_fraction`` of what was drained.
+    """
+
+    def __init__(self, capacity_joules, recovery_fraction=0.05,
+                 idle_threshold_w=6.0, recovery_rate_w=0.5):
+        if capacity_joules <= 0:
+            raise SupplyError(f"capacity must be positive, got {capacity_joules}")
+        if not 0.0 <= recovery_fraction < 1.0:
+            raise SupplyError(
+                f"recovery fraction {recovery_fraction} outside [0, 1)"
+            )
+        self.capacity = float(capacity_joules)
+        self.recovery_fraction = recovery_fraction
+        self.idle_threshold_w = idle_threshold_w
+        self.recovery_rate_w = recovery_rate_w
+        self.drawn = 0.0
+        self.recovered = 0.0
+        self._recovery_budget = 0.0
+        self._last_power = 0.0
+
+    def note_power(self, watts):
+        self._last_power = watts
+
+    def drain(self, joules):
+        if joules < 0:
+            raise SupplyError(f"cannot drain negative energy {joules}")
+        self.drawn = min(self.capacity, self.drawn + joules)
+        self._recovery_budget += joules * self.recovery_fraction
+
+    def recover(self, dt):
+        """Apply recovery over ``dt`` seconds of sufficiently light load."""
+        if dt < 0:
+            raise SupplyError(f"negative interval {dt}")
+        if self._last_power > self.idle_threshold_w:
+            return 0.0
+        amount = min(self.recovery_rate_w * dt, self._recovery_budget, self.drawn)
+        self.drawn -= amount
+        self._recovery_budget -= amount
+        self.recovered += amount
+        return amount
+
+    @property
+    def residual(self):
+        return self.capacity - self.drawn
+
+    @property
+    def exhausted(self):
+        return self.residual <= 0.0
+
+    @property
+    def fraction_remaining(self):
+        return self.residual / self.capacity
+
+
+class VoltageCurve:
+    """Li-ion style discharge voltage as a function of state of charge.
+
+    Useful for SmartBattery-style gauges that estimate charge from
+    terminal voltage: flat through the middle of the discharge, a bump
+    at the top, a knee at the bottom.
+    """
+
+    def __init__(self, v_full=12.6, v_nominal=11.1, v_empty=9.0):
+        if not v_empty < v_nominal < v_full:
+            raise SupplyError(
+                f"voltages must be ordered: {v_empty} < {v_nominal} < {v_full}"
+            )
+        self.v_full = v_full
+        self.v_nominal = v_nominal
+        self.v_empty = v_empty
+
+    def voltage(self, fraction_remaining):
+        """Terminal voltage at a state of charge in [0, 1]."""
+        if not 0.0 <= fraction_remaining <= 1.0:
+            raise SupplyError(
+                f"state of charge {fraction_remaining} outside [0, 1]"
+            )
+        soc = fraction_remaining
+        if soc >= 0.9:
+            # Top bump: quick drop from v_full to the plateau.
+            t = (soc - 0.9) / 0.1
+            return self.v_nominal + (self.v_full - self.v_nominal) * t
+        if soc >= 0.15:
+            # Long flat plateau with a gentle slope.
+            t = (soc - 0.15) / 0.75
+            plateau_low = self.v_nominal - 0.25
+            return plateau_low + (self.v_nominal - plateau_low) * t
+        # Knee: exponential-looking drop to empty.
+        t = soc / 0.15
+        plateau_low = self.v_nominal - 0.25
+        return self.v_empty + (plateau_low - self.v_empty) * math.sqrt(t)
+
+    def soc_from_voltage(self, volts):
+        """Inverse lookup (bisection): state of charge from voltage."""
+        if volts >= self.v_full:
+            return 1.0
+        if volts <= self.v_empty:
+            return 0.0
+        lo, hi = 0.0, 1.0
+        for _ in range(60):
+            mid = (lo + hi) / 2
+            if self.voltage(mid) < volts:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2

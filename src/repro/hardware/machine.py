@@ -1,0 +1,285 @@
+"""The composite machine: component aggregation, energy integration,
+and PowerScope-style attribution.
+
+Power model
+-----------
+Total machine power is the sum of component powers plus a *superlinear
+correction*: the paper measured 10.28 W with everything on, 0.21 W more
+than the sum of the individual component draws, and a 5.6 W background
+(display dim, WaveLAN and disk in standby) that likewise exceeds the
+component sum slightly.  The correction is a pluggable callable so the
+ThinkPad 560X calibration can reproduce both published totals.
+
+Attribution model
+-----------------
+PowerScope attributes each current sample — i.e. the *whole machine's*
+instantaneous power — to the process/procedure executing at sample time
+(paper Section 2.1).  The machine therefore maintains an execution
+context stack (process, procedure); the bottom of the stack is the
+kernel idle loop.  Asynchronous network interrupt handling is modeled
+as an *overlay*: while a transfer is in flight, a fixed fraction of
+wall time executes the interrupt handler, so that fraction of energy is
+attributed to ``Interrupts-WaveLAN`` exactly as in the paper's Figure 2.
+
+These continuously integrated, exactly attributed energies are the
+ground truth; :mod:`repro.powerscope` reconstructs them by statistical
+sampling, and tests assert the two agree.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.hardware.component import HardwareError
+from repro.sim.resources import Resource
+
+__all__ = ["Machine", "IDLE_PROCESS", "IDLE_PROCEDURE"]
+
+IDLE_PROCESS = "Idle"
+IDLE_PROCEDURE = "_kernel_idle"
+
+
+class Machine:
+    """A mobile computer assembled from power components.
+
+    Parameters
+    ----------
+    sim:
+        The driving :class:`~repro.sim.Simulator`.
+    supply:
+        Object with ``drain(joules)`` (battery or external supply).
+    voltage:
+        Input voltage; the paper notes it is controlled to within
+        0.25 %, so current = power / voltage.
+    correction:
+        ``callable(machine) -> watts`` superlinear correction term.
+    """
+
+    def __init__(self, sim, supply, voltage=16.0, correction=None,
+                 timeline=None, scheduler=None):
+        self.sim = sim
+        self.supply = supply
+        self.voltage = voltage
+        self.correction = correction or (lambda machine: 0.0)
+        self.timeline = timeline
+        self.components = {}
+        self.cpu_resource = Resource(sim, capacity=1, name="cpu")
+        # One disk head: concurrent accesses serialize (thrashing is
+        # only painful because of this).
+        self.disk_resource = Resource(sim, capacity=1, name="disk")
+        # Optional quantum scheduler (repro.sim.scheduler) replaces the
+        # FIFO whole-burst CPU model with round-robin time-slicing.
+        self.scheduler = scheduler
+        self._context_stack = [(IDLE_PROCESS, IDLE_PROCEDURE)]
+        self._context_tokens = itertools.count(1)
+        self._token_stack = [0]
+        self._overlays = {}
+        self._overlay_tokens = itertools.count(1)
+        self._last_update = sim.now
+        self.energy_total = 0.0
+        self.energy_by_process = {}
+        self.energy_by_procedure = {}
+        self.energy_by_component = {}
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def attach(self, component):
+        """Add a component; its state changes now integrate energy first."""
+        if component.name in self.components:
+            raise HardwareError(f"duplicate component {component.name!r}")
+        self.components[component.name] = component
+        component._pre_change = self.advance
+        if self.timeline is not None:
+            component.observe(
+                lambda comp, old, new: self.timeline.record(
+                    self.sim.now, "hardware", comp.name, new
+                )
+            )
+        return component
+
+    def __getitem__(self, name):
+        return self.components[name]
+
+    def __contains__(self, name):
+        return name in self.components
+
+    # ------------------------------------------------------------------
+    # instantaneous readings
+    # ------------------------------------------------------------------
+    @property
+    def power(self):
+        """Instantaneous whole-machine draw in watts."""
+        total = sum(c.power for c in self.components.values())
+        return total + self.correction(self)
+
+    @property
+    def current(self):
+        """Instantaneous current in amperes (what the multimeter samples)."""
+        return self.power / self.voltage
+
+    # ------------------------------------------------------------------
+    # execution context (who gets the energy)
+    # ------------------------------------------------------------------
+    @property
+    def context(self):
+        """Current ``(process, procedure)`` attribution context."""
+        return self._context_stack[-1]
+
+    def push_context(self, process, procedure="main"):
+        """Enter an attribution context; returns a token for pop."""
+        self.advance()
+        token = next(self._context_tokens)
+        self._context_stack.append((process, procedure))
+        self._token_stack.append(token)
+        return token
+
+    def pop_context(self, token):
+        """Leave a context previously entered with :meth:`push_context`."""
+        if token not in self._token_stack:
+            raise HardwareError("pop_context with unknown token")
+        self.advance()
+        index = self._token_stack.index(token)
+        del self._context_stack[index]
+        del self._token_stack[index]
+
+    def add_overlay(self, fraction, process, procedure="_interrupt"):
+        """Attribute ``fraction`` of machine energy to ``process``.
+
+        Models asynchronous activity (network interrupts) that steals a
+        share of wall time from whatever context is executing.  Returns
+        a handle for :meth:`remove_overlay`.  Overlapping overlay
+        fractions are capped at 1.0 in total.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise HardwareError(f"overlay fraction {fraction} outside [0, 1]")
+        self.advance()
+        handle = next(self._overlay_tokens)
+        self._overlays[handle] = (fraction, process, procedure)
+        return handle
+
+    def remove_overlay(self, handle):
+        """Remove an attribution overlay."""
+        if handle not in self._overlays:
+            raise HardwareError("remove_overlay with unknown handle")
+        self.advance()
+        del self._overlays[handle]
+
+    # ------------------------------------------------------------------
+    # energy integration
+    # ------------------------------------------------------------------
+    def advance(self):
+        """Integrate energy from the last update to the current instant.
+
+        Power is piecewise constant, so integration is exact provided
+        this runs before every state, context, or overlay change —
+        which components and context methods guarantee.
+        """
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt <= 0.0:
+            self._last_update = now
+            return
+        self._last_update = now
+        power = self.power
+        energy = power * dt
+        self.energy_total += energy
+        # Non-ideal supplies (Peukert, recovery) scale their drain by
+        # the instantaneous draw and relax during light load.
+        note_power = getattr(self.supply, "note_power", None)
+        if note_power is not None:
+            note_power(power)
+        self.supply.drain(energy)
+        recover = getattr(self.supply, "recover", None)
+        if recover is not None:
+            recover(dt)
+
+        # Per-component accounting (correction tracked as its own row).
+        for name, comp in self.components.items():
+            self.energy_by_component[name] = (
+                self.energy_by_component.get(name, 0.0) + comp.power * dt
+            )
+        correction = self.correction(self)
+        if correction:
+            self.energy_by_component["(superlinear)"] = (
+                self.energy_by_component.get("(superlinear)", 0.0) + correction * dt
+            )
+
+        # Attribution: overlays first, remainder to the current context.
+        overlay_total = min(1.0, sum(f for f, _p, _pr in self._overlays.values()))
+        scale = 1.0
+        if overlay_total > 1.0:
+            scale = 1.0 / overlay_total
+        remaining = 1.0
+        for fraction, process, procedure in self._overlays.values():
+            share = min(fraction * scale, remaining)
+            remaining -= share
+            self._credit(process, procedure, energy * share)
+        if remaining > 0.0:
+            process, procedure = self.context
+            self._credit(process, procedure, energy * remaining)
+
+    def _credit(self, process, procedure, joules):
+        if joules <= 0.0:
+            return
+        self.energy_by_process[process] = (
+            self.energy_by_process.get(process, 0.0) + joules
+        )
+        key = (process, procedure)
+        self.energy_by_procedure[key] = (
+            self.energy_by_procedure.get(key, 0.0) + joules
+        )
+
+    # ------------------------------------------------------------------
+    # structured activity helpers
+    # ------------------------------------------------------------------
+    def compute(self, duration, process, procedure="main"):
+        """Generator: run a CPU burst with contention and attribution.
+
+        Acquires the (single) CPU, marks it busy, attributes machine
+        energy to ``process``/``procedure``, then restores the idle
+        state.  Concurrent bursts serialize FIFO by default; with a
+        quantum scheduler attached they interleave round-robin, with
+        power state and attribution handled per slice.
+        """
+        cpu = self.components.get("cpu")
+        token_box = []
+
+        def on_grant():
+            token_box.append(self.push_context(process, procedure))
+            if cpu is not None:
+                cpu.set_state("busy")
+
+        def on_release():
+            if cpu is not None:
+                cpu.set_state("idle")
+            self.pop_context(token_box.pop())
+
+        if self.scheduler is not None:
+            yield from self.scheduler.run(
+                duration, owner=process,
+                on_slice_start=on_grant, on_slice_end=on_release,
+            )
+        else:
+            yield from self.cpu_resource.use(
+                duration, owner=process, on_grant=on_grant, on_release=on_release
+            )
+
+    def idle_for(self, duration):
+        """Generator: let simulated time pass with no activity."""
+        yield self.sim.timeout(duration)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def finish(self):
+        """Integrate up to the current instant and return total joules."""
+        self.advance()
+        return self.energy_total
+
+    def energy_report(self):
+        """Energy by process, largest first, after a final integration."""
+        self.advance()
+        return dict(
+            sorted(self.energy_by_process.items(), key=lambda kv: -kv[1])
+        )

@@ -1,0 +1,113 @@
+"""Hardware power-management policy (paper Section 3.1).
+
+The paper's "Hardware-Only Power Mgmt." configuration powered down as
+many components as possible for each application:
+
+* disk placed in standby after 10 seconds of inactivity;
+* wireless interface in standby except during RPCs or bulk transfers
+  (implemented by the modified network layer, :mod:`repro.net`);
+* display turned off when the application permits (speech), left
+  bright otherwise.
+
+When disabled (the "Baseline" configuration) the disk keeps spinning,
+the NIC idles in receive-ready mode, and the display stays bright —
+matching the paper's baseline with BIOS power management turned off.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import Cpu
+from repro.hardware.disk import Disk
+from repro.hardware.display import Display
+from repro.hardware.wavelan import WaveLan
+
+__all__ = ["PowerManager"]
+
+
+class PowerManager:
+    """Applies (or withholds) the paper's hardware power-management policy.
+
+    Parameters
+    ----------
+    machine:
+        The :class:`~repro.hardware.machine.Machine` to manage.
+    enabled:
+        False reproduces the paper's baseline (no power management).
+    disk_spindown_timeout:
+        Seconds of disk inactivity before standby (paper: 10 s).
+    display_policy:
+        ``"bright"`` (video, map, web) or ``"off"`` (speech — user
+        interacts by voice, so the display can be dark).
+    """
+
+    def __init__(self, machine, enabled, disk_spindown_timeout=10.0,
+                 display_policy="bright"):
+        if display_policy not in ("bright", "dim", "off"):
+            raise ValueError(f"invalid display policy {display_policy!r}")
+        self.machine = machine
+        self.enabled = enabled
+        self.disk_spindown_timeout = disk_spindown_timeout
+        self.display_policy = display_policy
+        self._spindown_deadline = None
+
+    # ------------------------------------------------------------------
+    def apply_initial_states(self):
+        """Configure component resting states before a run starts."""
+        display = self.machine.components.get("display")
+        disk = self.machine.components.get("disk")
+        nic = self.machine.components.get("wavelan")
+        cpu = self.machine.components.get("cpu")
+        if not self.enabled:
+            if display is not None:
+                display.set_state(Display.BRIGHT)
+            if disk is not None:
+                disk.set_state(Disk.IDLE)
+            if nic is not None:
+                nic.set_resting_state(WaveLan.IDLE)
+            if cpu is not None and isinstance(cpu, Cpu):
+                cpu.set_resting_state(Cpu.POLL)
+            return
+        if cpu is not None and isinstance(cpu, Cpu):
+            cpu.set_resting_state(Cpu.HALT)
+        if display is not None:
+            display.set_state(
+                {
+                    "bright": Display.BRIGHT,
+                    "dim": Display.DIM,
+                    "off": Display.OFF,
+                }[self.display_policy]
+            )
+        if nic is not None:
+            # Standby except during RPCs/bulk transfers (paper §3.1).
+            nic.set_resting_state(WaveLan.STANDBY)
+        if disk is not None:
+            # Experiments start after >10 s of inactivity, so the disk
+            # is already spun down ("the disk remains in standby mode
+            # for the entire duration of an experiment", Section 3.3.2).
+            # Later activity spins it up; the timer spins it back down.
+            disk.standby()
+
+    # ------------------------------------------------------------------
+    def note_disk_activity(self):
+        """Reset the spin-down timer after a disk access completes."""
+        disk = self.machine.components.get("disk")
+        if disk is None or not self.enabled:
+            return
+        self._schedule_spindown(disk)
+
+    def _schedule_spindown(self, disk):
+        deadline = self.machine.sim.now + self.disk_spindown_timeout
+        self._spindown_deadline = deadline
+        self.machine.sim.schedule(
+            self.disk_spindown_timeout, lambda _t: self._maybe_spindown(disk)
+        )
+
+    def _maybe_spindown(self, disk):
+        # Only the most recently scheduled timer may fire the spin-down;
+        # later activity pushes the deadline forward and supersedes it.
+        if not self.enabled or self._spindown_deadline is None:
+            return
+        if self.machine.sim.now + 1e-9 < self._spindown_deadline:
+            return
+        if disk.state == Disk.IDLE:
+            disk.standby()

@@ -1,0 +1,76 @@
+"""WaveLAN wireless-interface power model.
+
+Figure 4 of the paper gives the two passive states we can take
+directly: idle (receive-ready) at 1.46 W and standby at 0.18 W.  Active
+transmit/receive powers were not published for the 900 MHz WaveLAN in
+the paper; we use values in line with the measurements of Stemm & Katz
+(cited by the paper) and record them as calibration constants in
+:mod:`repro.hardware.thinkpad560x`.
+
+The NIC also raises receive/transmit *interrupts*; the paper's profiles
+attribute those samples to the ``Interrupts-WaveLAN`` pseudo-process.
+The network layer models this with an attribution overlay while a
+transfer is in flight (see :meth:`repro.hardware.machine.Machine.add_overlay`).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.component import PowerComponent
+
+__all__ = ["WaveLan"]
+
+
+class WaveLan(PowerComponent):
+    """Wireless NIC with off / standby / idle / recv / xmit states."""
+
+    OFF = "off"
+    STANDBY = "standby"
+    IDLE = "idle"
+    RECV = "recv"
+    XMIT = "xmit"
+
+    def __init__(self, idle_watts, standby_watts, recv_watts, xmit_watts,
+                 name="wavelan"):
+        super().__init__(
+            name,
+            states={
+                self.OFF: 0.0,
+                self.STANDBY: standby_watts,
+                self.IDLE: idle_watts,
+                self.RECV: recv_watts,
+                self.XMIT: xmit_watts,
+            },
+            initial=self.IDLE,
+        )
+        # Reference count of in-flight transfers so overlapping RPCs
+        # keep the NIC awake until the last one finishes.
+        self._active_transfers = 0
+        self._resting_state = self.IDLE
+
+    @property
+    def resting_state(self):
+        """State adopted when no transfer is in flight (idle or standby)."""
+        return self._resting_state
+
+    def set_resting_state(self, state):
+        """Choose the passive state (power management picks standby)."""
+        if state not in (self.IDLE, self.STANDBY, self.OFF):
+            raise ValueError(f"invalid resting state {state!r}")
+        self._resting_state = state
+        if self._active_transfers == 0:
+            self.set_state(state)
+
+    def begin_transfer(self, direction):
+        """Enter recv/xmit for a transfer; nests across overlapping RPCs."""
+        if direction not in (self.RECV, self.XMIT):
+            raise ValueError(f"invalid transfer direction {direction!r}")
+        self._active_transfers += 1
+        self.set_state(direction)
+
+    def end_transfer(self):
+        """Leave the active state, returning to the resting state when idle."""
+        if self._active_transfers == 0:
+            raise RuntimeError("end_transfer without begin_transfer")
+        self._active_transfers -= 1
+        if self._active_transfers == 0:
+            self.set_state(self._resting_state)

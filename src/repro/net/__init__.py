@@ -1,0 +1,22 @@
+"""Network substrate: WaveLAN link, RPC, and remote-server models."""
+
+from repro.net.bandwidth import BandwidthEstimator
+from repro.net.link import (
+    DisconnectedError,
+    INTERRUPT_PROCESS,
+    Link,
+    NetworkError,
+)
+from repro.net.rpc import RpcChannel, RpcTimeout
+from repro.net.server import Server
+
+__all__ = [
+    "Link",
+    "NetworkError",
+    "DisconnectedError",
+    "INTERRUPT_PROCESS",
+    "RpcChannel",
+    "RpcTimeout",
+    "Server",
+    "BandwidthEstimator",
+]

@@ -1,0 +1,48 @@
+"""Passive bandwidth estimation.
+
+Odyssey's viceroy monitored network bandwidth by passively observing
+application traffic (Noble et al., SOSP 1997 — the paper's reference
+[17]).  The estimator subscribes to completed link transfers and keeps
+an exponentially weighted moving average of observed throughput; the
+expectation machinery in :mod:`repro.core.expectations` compares it to
+each application's registered tolerance window.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BandwidthEstimator"]
+
+
+class BandwidthEstimator:
+    """EWMA throughput estimator fed by link transfer observations."""
+
+    def __init__(self, link, gain=0.25, min_sample_bytes=512):
+        if not 0.0 < gain <= 1.0:
+            raise ValueError(f"gain {gain} outside (0, 1]")
+        self.link = link
+        self.gain = gain
+        self.min_sample_bytes = min_sample_bytes
+        self.estimate_bps = None
+        self.samples = 0
+        link.observe(self._on_transfer)
+
+    def _on_transfer(self, nbytes, seconds):
+        # Tiny transfers are dominated by latency, not bandwidth.
+        if nbytes < self.min_sample_bytes or seconds <= 0:
+            return
+        observed = nbytes * 8.0 / seconds
+        self.samples += 1
+        if self.estimate_bps is None:
+            self.estimate_bps = observed
+        else:
+            self.estimate_bps += self.gain * (observed - self.estimate_bps)
+
+    @property
+    def has_estimate(self):
+        """True once at least one usable transfer has been observed."""
+        return self.estimate_bps is not None
+
+    def reset(self):
+        """Forget history (e.g. after a known connectivity change)."""
+        self.estimate_bps = None
+        self.samples = 0

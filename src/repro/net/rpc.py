@@ -1,0 +1,98 @@
+"""Remote procedure calls over the wireless link.
+
+The paper modified Odyssey's network package to keep the WaveLAN in
+standby *except during remote procedure calls or bulk transfers*.  An
+RPC therefore wakes the NIC, transmits the request, keeps the NIC
+receive-ready while the server computes (the reply may arrive at any
+moment), receives the reply, and lets the NIC fall back to its resting
+state (standby when power management is on, idle otherwise).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.wavelan import WaveLan
+from repro.net.link import NetworkError
+
+__all__ = ["RpcChannel", "RpcTimeout"]
+
+
+class RpcTimeout(NetworkError):
+    """An RPC exceeded its deadline (including all retries)."""
+
+
+class RpcChannel:
+    """Client-side RPC endpoint bound to a link and a server.
+
+    Parameters
+    ----------
+    link / server:
+        Transport and endpoint.
+    timeout:
+        Optional per-attempt deadline in seconds.  A slow server (or an
+        injected fault) that blows the deadline triggers a retry; the
+        client pays the full energy cost of the failed attempt — it was
+        receive-ready the whole time.
+    retries:
+        Additional attempts after the first before :class:`RpcTimeout`.
+    """
+
+    def __init__(self, link, server, timeout=None, retries=0):
+        if timeout is not None and timeout <= 0:
+            raise NetworkError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise NetworkError(f"retries must be >= 0, got {retries}")
+        self.link = link
+        self.server = server
+        self.timeout = timeout
+        self.retries = retries
+        self.calls = 0
+        self.timeouts = 0
+
+    def call(self, request_bytes, reply_bytes, work_units=0.0):
+        """Generator: perform one RPC (with retries when configured).
+
+        Returns the total elapsed seconds for the call.
+        """
+        sim = self.link.sim
+        start = sim.now
+        self.calls += 1
+        attempts = 1 + self.retries
+        for attempt in range(attempts):
+            timed_out = yield from self._attempt(
+                request_bytes, reply_bytes, work_units
+            )
+            if not timed_out:
+                return sim.now - start
+            self.timeouts += 1
+        raise RpcTimeout(
+            f"{self.server.name}: no reply after {attempts} attempt(s)"
+        )
+
+    def _attempt(self, request_bytes, reply_bytes, work_units):
+        """One request/reply exchange; returns True when it timed out."""
+        sim = self.link.sim
+        nic = self.link.nic
+        yield from self.link.xmit(request_bytes)
+        if work_units > 0.0:
+            wait = self.server.service_time(work_units)
+            if self.timeout is not None and wait > self.timeout:
+                # The client gives up at the deadline, receive-ready
+                # the whole time; the server's work is wasted.
+                if nic is not None:
+                    nic.begin_transfer(WaveLan.RECV)
+                try:
+                    yield sim.timeout(self.timeout)
+                finally:
+                    if nic is not None:
+                        nic.end_transfer()
+                return True
+            # Receive-ready while awaiting the server's reply.
+            if nic is not None:
+                nic.begin_transfer(WaveLan.RECV)
+            try:
+                yield from self.server.serve(sim, work_units)
+            finally:
+                if nic is not None:
+                    nic.end_transfer()
+        yield from self.link.recv(reply_bytes)
+        return False

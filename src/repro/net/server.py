@@ -1,0 +1,56 @@
+"""Remote server models.
+
+Servers in the testbed were 200 MHz Pentium Pro desktops operating from
+wall power; their energy is *not* charged to the client, only their
+processing latency matters.  A server turns abstract work units into
+seconds according to its speed, and can degrade or transform content
+(the map server filters/crops, the distillation server transcodes).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Server"]
+
+
+class Server:
+    """A wall-powered remote compute server.
+
+    Parameters
+    ----------
+    name:
+        Server name, used in traces.
+    speed:
+        Work units processed per second.  Client-relative speed is
+        encoded by expressing application work in the same units.
+    """
+
+    def __init__(self, name, speed=1.0):
+        if speed <= 0:
+            raise ValueError(f"{name}: server speed must be positive")
+        self.name = name
+        self.speed = speed
+        self.requests_served = 0
+        self.busy_seconds = 0.0
+
+    def set_speed(self, speed):
+        """Change the server's speed (load variation / fault injection)."""
+        if speed <= 0:
+            raise ValueError(f"{self.name}: server speed must be positive")
+        self.speed = speed
+
+    def service_time(self, work_units):
+        """Seconds to process ``work_units`` of application work."""
+        if work_units < 0:
+            raise ValueError(f"negative work {work_units}")
+        return work_units / self.speed
+
+    def serve(self, sim, work_units):
+        """Generator: process a request for ``work_units``.
+
+        Servers are not a contended resource in the testbed (one client),
+        so requests do not queue; each waits its own service time.
+        """
+        duration = self.service_time(work_units)
+        self.requests_served += 1
+        self.busy_seconds += duration
+        yield sim.timeout(duration)

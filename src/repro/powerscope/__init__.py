@@ -1,0 +1,55 @@
+"""PowerScope: statistical-sampling energy profiler (paper Section 2.1).
+
+Collection (:class:`Multimeter` + :class:`SystemMonitor`) produces
+correlated current and PC/PID sample sequences; the offline stage
+(:func:`correlate`) merges them into an :class:`EnergyProfile`; and
+:func:`render_profile` formats the Figure 2-style tables.  The
+:class:`OnlinePowerMonitor` is the 100 ms on-line variant feeding
+goal-directed adaptation (Section 5).
+"""
+
+from repro.powerscope.correlate import CorrelationError, correlate
+from repro.powerscope.diff import ProfileDelta, diff_profiles, render_diff
+from repro.powerscope.multimeter import Multimeter, SystemMonitor
+from repro.powerscope.online import OnlinePowerMonitor
+from repro.powerscope.profile import EnergyProfile, ProfileEntry
+from repro.powerscope.smartbattery import GAUGE_OVERHEAD_W, SmartBatteryGauge
+from repro.powerscope.report import render_process_detail, render_profile
+from repro.powerscope.samples import CurrentSample, PcPidSample
+
+__all__ = [
+    "Multimeter",
+    "SystemMonitor",
+    "OnlinePowerMonitor",
+    "SmartBatteryGauge",
+    "GAUGE_OVERHEAD_W",
+    "CurrentSample",
+    "PcPidSample",
+    "EnergyProfile",
+    "ProfileEntry",
+    "correlate",
+    "CorrelationError",
+    "render_profile",
+    "render_process_detail",
+    "ProfileDelta",
+    "diff_profiles",
+    "render_diff",
+    "profile_run",
+]
+
+
+def profile_run(machine, until, rate_hz=600.0, seed=0, detail_process=None):
+    """Convenience: profile a machine while running its simulator.
+
+    Starts a multimeter + system monitor pair, runs the simulation to
+    ``until``, and returns the correlated :class:`EnergyProfile`.
+    """
+    monitor = SystemMonitor(machine, seed=seed)
+    meter = Multimeter(machine, rate_hz=rate_hz, monitor=monitor)
+    meter.start()
+    machine.sim.run(until=until)
+    meter.stop()
+    machine.advance()
+    return correlate(
+        meter.samples, monitor.samples, machine.voltage, period=meter.period
+    )

@@ -1,0 +1,63 @@
+"""PowerScope's offline correlation stage (paper Section 2.1).
+
+Data collection yields a sequence of current levels and a correlated
+sequence of PC/PID samples.  This stage merges the two, pairing each
+current reading with the simultaneous PC/PID sample, converting current
+to energy (the input voltage is well-controlled, so energy per sample =
+V * I * dt) and accumulating per-process / per-procedure totals.
+"""
+
+from __future__ import annotations
+
+from repro.powerscope.profile import EnergyProfile
+
+__all__ = ["correlate", "CorrelationError"]
+
+
+class CorrelationError(Exception):
+    """The two sample sequences cannot be merged."""
+
+
+def correlate(current_samples, pcpid_samples, voltage, period=None):
+    """Build an :class:`~repro.powerscope.profile.EnergyProfile`.
+
+    Parameters
+    ----------
+    current_samples:
+        Sequence of :class:`~repro.powerscope.samples.CurrentSample`.
+    pcpid_samples:
+        Sequence of :class:`~repro.powerscope.samples.PcPidSample`,
+        index-correlated with ``current_samples`` (the multimeter's
+        trigger line guarantees pairing).
+    voltage:
+        Input voltage of the profiling computer.
+    period:
+        Sampling period; inferred from timestamps when omitted.
+    """
+    if len(current_samples) != len(pcpid_samples):
+        raise CorrelationError(
+            f"sample sequences differ in length: {len(current_samples)} current "
+            f"vs {len(pcpid_samples)} pc/pid"
+        )
+    profile = EnergyProfile()
+    if not current_samples:
+        return profile
+    if period is None:
+        if len(current_samples) > 1:
+            span = current_samples[-1].time - current_samples[0].time
+            period = span / (len(current_samples) - 1)
+        else:
+            raise CorrelationError("cannot infer period from a single sample")
+    if period <= 0:
+        raise CorrelationError(f"non-positive sampling period {period}")
+    for current, pcpid in zip(current_samples, pcpid_samples):
+        if abs(current.time - pcpid.time) > period / 2:
+            raise CorrelationError(
+                f"samples desynchronized at t={current.time:.6f} "
+                f"vs t={pcpid.time:.6f}"
+            )
+        joules = voltage * current.amps * period
+        profile.record(pcpid.process, pcpid.procedure, period, joules)
+    profile.sample_count = len(current_samples)
+    profile.elapsed = len(current_samples) * period
+    return profile

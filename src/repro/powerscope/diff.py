@@ -1,0 +1,78 @@
+"""Energy-profile comparison.
+
+PowerScope's purpose is to "help expose system components most
+responsible for energy consumption" (paper Section 2.1); the natural
+workflow is differential — profile a baseline run and an optimized run
+and see which components account for the change.  This module computes
+and renders that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProfileDelta", "diff_profiles", "render_diff"]
+
+
+@dataclass(frozen=True)
+class ProfileDelta:
+    """Change in one process's energy between two profiles."""
+
+    process: str
+    before_joules: float
+    after_joules: float
+
+    @property
+    def delta_joules(self):
+        """Energy change (after minus before)."""
+        return self.after_joules - self.before_joules
+
+    @property
+    def relative(self):
+        """Fractional change (None when the process is new)."""
+        if self.before_joules == 0:
+            return None
+        return self.delta_joules / self.before_joules
+
+
+def diff_profiles(before, after):
+    """Per-process energy deltas, largest absolute change first."""
+    processes = set(before.processes) | set(after.processes)
+    deltas = [
+        ProfileDelta(
+            process,
+            before.energy_of(process),
+            after.energy_of(process),
+        )
+        for process in processes
+    ]
+    deltas.sort(key=lambda d: abs(d.delta_joules), reverse=True)
+    return deltas
+
+
+def render_diff(before, after, title="Energy profile comparison"):
+    """Format the comparison as a text table."""
+    deltas = diff_profiles(before, after)
+    lines = [title, ""]
+    header = f"{'Process':<28} {'Before(J)':>10} {'After(J)':>10} {'Delta(J)':>10} {'Change':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for delta in deltas:
+        relative = delta.relative
+        change = f"{relative:+.0%}" if relative is not None else "new"
+        lines.append(
+            f"{delta.process:<28} {delta.before_joules:>10.1f} "
+            f"{delta.after_joules:>10.1f} {delta.delta_joules:>+10.1f} "
+            f"{change:>8}"
+        )
+    total_before = before.total_energy
+    total_after = after.total_energy
+    lines.append("-" * len(header))
+    overall = (
+        (total_after - total_before) / total_before if total_before else 0.0
+    )
+    lines.append(
+        f"{'Total':<28} {total_before:>10.1f} {total_after:>10.1f} "
+        f"{total_after - total_before:>+10.1f} {overall:>+8.0%}"
+    )
+    return "\n".join(lines)

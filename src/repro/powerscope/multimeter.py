@@ -1,0 +1,99 @@
+"""The digital multimeter and system monitor of PowerScope's collection
+stage (paper Figure 1).
+
+A Hewlett-Packard 3458a sampled the profiling computer's external
+current at roughly 600 Hz; each reading also triggered the system
+monitor on the profiling computer to record the program counter and
+process id of the executing code.  Here the multimeter reads the
+simulated machine's instantaneous current and the system monitor reads
+the machine's attribution context — including the interrupt overlay,
+which it resolves probabilistically with a seeded RNG exactly the way a
+hardware sampler would catch the interrupt handler some fraction of the
+time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.powerscope.samples import CurrentSample, PcPidSample
+
+__all__ = ["Multimeter", "SystemMonitor"]
+
+
+class SystemMonitor:
+    """Samples the (process, procedure) executing on the machine."""
+
+    def __init__(self, machine, seed=0):
+        self.machine = machine
+        self.samples = []
+        self._rng = random.Random(seed)
+
+    def sample(self):
+        """Record one PC/PID sample at the current instant."""
+        machine = self.machine
+        # Resolve overlays (asynchronous interrupt handlers) the way a
+        # real sampler would: with probability equal to the overlay's
+        # share of wall time, the sample lands in the handler.
+        draw = self._rng.random()
+        cumulative = 0.0
+        process, procedure = machine.context
+        for fraction, ov_process, ov_procedure in machine._overlays.values():
+            cumulative += fraction
+            if draw < cumulative:
+                process, procedure = ov_process, ov_procedure
+                break
+        record = PcPidSample(machine.sim.now, process, procedure)
+        self.samples.append(record)
+        return record
+
+
+class Multimeter:
+    """Periodic current sampler driving the system-monitor trigger line.
+
+    Parameters
+    ----------
+    machine:
+        Machine whose external current input is measured.
+    rate_hz:
+        Sampling frequency (paper: approximately 600 Hz).
+    monitor:
+        Optional :class:`SystemMonitor` triggered on every reading.
+    """
+
+    def __init__(self, machine, rate_hz=600.0, monitor=None):
+        if rate_hz <= 0:
+            raise ValueError(f"sampling rate must be positive, got {rate_hz}")
+        self.machine = machine
+        self.sim = machine.sim
+        self.period = 1.0 / rate_hz
+        self.monitor = monitor
+        self.samples = []
+        self._running = False
+
+    def start(self):
+        """Begin sampling at the configured rate."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self.period, self._tick)
+
+    def stop(self):
+        """Stop sampling (in-flight samples are kept)."""
+        self._running = False
+
+    def _tick(self, _time):
+        if not self._running:
+            return
+        # Integrate energy up to this instant so `power` reflects any
+        # piecewise-constant segment boundary exactly at the sample.
+        self.machine.advance()
+        self.samples.append(CurrentSample(self.sim.now, self.machine.current))
+        if self.monitor is not None:
+            self.monitor.sample()
+        self.sim.schedule(self.period, self._tick)
+
+    @property
+    def sample_count(self):
+        """Number of current samples collected so far."""
+        return len(self.samples)

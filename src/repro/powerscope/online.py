@@ -1,0 +1,63 @@
+"""On-line PowerScope: the power feed for goal-directed adaptation.
+
+Section 5.1.1 of the paper: "Odyssey measures power with an on-line
+version of PowerScope, using samples collected every 100 milliseconds.
+At each sample, Odyssey calculates residual energy, assuming a known
+initial value and constant power consumption between samples."
+
+The :class:`OnlinePowerMonitor` samples the machine's power on that
+cadence and pushes each reading to subscribers (the viceroy's energy
+supply accounting and demand predictor).
+"""
+
+from __future__ import annotations
+
+__all__ = ["OnlinePowerMonitor"]
+
+
+class OnlinePowerMonitor:
+    """Periodic power sampler with subscriber callbacks.
+
+    Subscribers receive ``(time, watts, dt)`` where ``dt`` is the time
+    since the previous sample — the integration interval for residual
+    energy accounting.
+    """
+
+    def __init__(self, machine, period=0.1):
+        if period <= 0:
+            raise ValueError(f"sampling period must be positive, got {period}")
+        self.machine = machine
+        self.sim = machine.sim
+        self.period = period
+        self.subscribers = []
+        self.last_power = 0.0
+        self._running = False
+        self._last_sample_time = None
+
+    def subscribe(self, callback):
+        """Register ``callback(time, watts, dt)`` for every sample."""
+        self.subscribers.append(callback)
+
+    def start(self):
+        """Begin sampling."""
+        if self._running:
+            return
+        self._running = True
+        self._last_sample_time = self.sim.now
+        self.sim.schedule(self.period, self._tick)
+
+    def stop(self):
+        """Stop sampling."""
+        self._running = False
+
+    def _tick(self, _time):
+        if not self._running:
+            return
+        self.machine.advance()
+        now = self.sim.now
+        dt = now - self._last_sample_time
+        self._last_sample_time = now
+        self.last_power = self.machine.power
+        for callback in self.subscribers:
+            callback(now, self.last_power, dt)
+        self.sim.schedule(self.period, self._tick)

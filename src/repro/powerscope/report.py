@@ -1,0 +1,55 @@
+"""Render energy profiles as Figure 2-style text tables."""
+
+from __future__ import annotations
+
+__all__ = ["render_profile", "render_process_detail"]
+
+_HEADER = "{:<28} {:>10} {:>14} {:>14}"
+_ROW = "{:<28} {:>10.2f} {:>14.2f} {:>14.2f}"
+
+
+def render_profile(profile, detail_process=None):
+    """Format a profile like the paper's Figure 2.
+
+    The summary table lists every process (CPU seconds, total joules,
+    average watts).  When ``detail_process`` is given, a second table
+    shows that process's per-procedure breakdown.
+    """
+    lines = []
+    lines.append(_HEADER.format("Process", "CPU(s)", "Energy(J)", "Avg Power(W)"))
+    lines.append("-" * 70)
+    for entry in profile.sorted_processes():
+        lines.append(
+            _ROW.format(
+                entry.name, entry.cpu_seconds, entry.energy_joules,
+                entry.average_power,
+            )
+        )
+    lines.append("-" * 70)
+    lines.append(
+        _ROW.format(
+            "Total", profile.total_cpu_seconds, profile.total_energy,
+            profile.total_energy / profile.elapsed if profile.elapsed else 0.0,
+        )
+    )
+    if detail_process is not None:
+        lines.append("")
+        lines.extend(render_process_detail(profile, detail_process))
+    return "\n".join(lines)
+
+
+def render_process_detail(profile, process):
+    """Format the per-procedure table for one process."""
+    lines = []
+    lines.append(f"Energy Usage Detail for process {process}")
+    lines.append("")
+    lines.append(_HEADER.format("Procedure", "CPU(s)", "Energy(J)", "Avg Power(W)"))
+    lines.append("-" * 70)
+    for entry in profile.sorted_procedures(process):
+        lines.append(
+            _ROW.format(
+                entry.name, entry.cpu_seconds, entry.energy_joules,
+                entry.average_power,
+            )
+        )
+    return lines

@@ -1,0 +1,35 @@
+"""Sample records produced during PowerScope data collection.
+
+The collection stage produces two correlated sequences (paper Figure 1):
+current levels from the digital multimeter, and program-counter /
+process-id samples from the system monitor on the profiling computer.
+They are merged offline by :mod:`repro.powerscope.correlate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CurrentSample", "PcPidSample"]
+
+
+@dataclass(frozen=True)
+class CurrentSample:
+    """One multimeter reading: instantaneous current at ``time``."""
+
+    time: float
+    amps: float
+
+
+@dataclass(frozen=True)
+class PcPidSample:
+    """One system-monitor reading: what code was executing at ``time``.
+
+    ``process`` plays the role of the PID (resolved to a name, as the
+    offline stage would resolve PIDs via /proc), and ``procedure`` the
+    role of the program counter resolved through symbol tables.
+    """
+
+    time: float
+    process: str
+    procedure: str

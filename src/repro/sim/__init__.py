@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel used by every substrate in the repo.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` — clock + event queue
+* :class:`~repro.sim.engine.Timeout`, :class:`~repro.sim.engine.Event` —
+  waitable primitives
+* :class:`~repro.sim.process.Process` — generator-based processes
+* :class:`~repro.sim.resources.Resource` — FIFO contention
+* :class:`~repro.sim.timeline.Timeline` — trace recording
+"""
+
+from repro.sim.engine import Event, Simulator, Timeout, Waitable
+from repro.sim.errors import (
+    Interrupted,
+    ProcessError,
+    ResourceError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.sim.process import Process
+from repro.sim.resources import Resource, ResourceGrant
+from repro.sim.scheduler import QuantumScheduler
+from repro.sim.timeline import Timeline, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "Timeout",
+    "Event",
+    "Waitable",
+    "Process",
+    "Resource",
+    "ResourceGrant",
+    "QuantumScheduler",
+    "Timeline",
+    "TraceRecord",
+    "SimulationError",
+    "SchedulingError",
+    "ProcessError",
+    "ResourceError",
+    "Interrupted",
+]

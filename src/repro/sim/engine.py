@@ -1,0 +1,180 @@
+"""The discrete-event simulation kernel.
+
+The kernel is deliberately small: a monotonic clock, a binary-heap event
+queue, and a handful of *waitable* primitives (:class:`Timeout`,
+:class:`Event`) that generator-based processes may yield on.  Everything
+else in the reproduction — hardware power models, the PowerScope
+profiler, the Odyssey viceroy — is built on top of these primitives.
+
+Determinism
+-----------
+Events scheduled for the same instant fire in FIFO order (a strictly
+increasing sequence number breaks ties), so a simulation with a fixed
+random seed is exactly reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+from repro.sim.errors import ProcessError, SchedulingError
+
+__all__ = ["Simulator", "Waitable", "Timeout", "Event"]
+
+
+class Waitable:
+    """Base class for things a process may ``yield`` on.
+
+    A waitable is *triggered* exactly once; callbacks subscribed before
+    the trigger fire at trigger time, callbacks subscribed afterwards
+    fire immediately.  The triggered ``value`` is delivered back into
+    the yielding generator by the process runner.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._callbacks = []
+        self.triggered = False
+        self.value = None
+
+    def subscribe(self, callback):
+        """Register ``callback(value)`` to run when the waitable fires."""
+        if self.triggered:
+            callback(self.value)
+        else:
+            self._callbacks.append(callback)
+
+    def trigger(self, value=None):
+        """Fire the waitable, delivering ``value`` to all subscribers."""
+        if self.triggered:
+            return
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+
+class Timeout(Waitable):
+    """A waitable that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay):
+        if delay < 0 or math.isnan(delay):
+            raise SchedulingError(f"timeout delay must be >= 0, got {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        sim.schedule(delay, self.trigger)
+
+
+class Event(Waitable):
+    """A waitable fired explicitly by some other actor.
+
+    Unlike :class:`Timeout` there is no implicit schedule; call
+    :meth:`Waitable.trigger` (optionally via :meth:`succeed`) when the
+    condition the event models has occurred.
+    """
+
+    def succeed(self, value=None):
+        """Alias for :meth:`Waitable.trigger` that reads better at call sites."""
+        self.trigger(value)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> sim.schedule(2.5, lambda _: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [2.5]
+    """
+
+    def __init__(self, start_time=0.0):
+        self.now = float(start_time)
+        self._heap = []
+        self._sequence = itertools.count()
+        self._processes = []
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay, callback):
+        """Run ``callback(sim_time)`` after ``delay`` simulated seconds."""
+        if delay < 0 or math.isnan(delay):
+            raise SchedulingError(f"cannot schedule {delay!r}s in the past")
+        entry = (self.now + delay, next(self._sequence), callback)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def schedule_at(self, when, callback):
+        """Run ``callback(sim_time)`` at absolute simulated time ``when``."""
+        return self.schedule(when - self.now, callback)
+
+    def timeout(self, delay):
+        """Return a :class:`Timeout` waitable firing ``delay`` seconds from now."""
+        return Timeout(self, delay)
+
+    def event(self):
+        """Return a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    # ------------------------------------------------------------------
+    # process management (see repro.sim.process)
+    # ------------------------------------------------------------------
+    def spawn(self, generator, name=None):
+        """Start a generator-based process; returns its :class:`Process`."""
+        from repro.sim.process import Process
+
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        return process
+
+    @property
+    def processes(self):
+        """All processes ever spawned, in spawn order."""
+        return tuple(self._processes)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self):
+        """Execute the single next event; returns False if none remain."""
+        if not self._heap:
+            return False
+        when, _seq, callback = heapq.heappop(self._heap)
+        if when < self.now:
+            raise ProcessError("event heap corrupted: time ran backwards")
+        self.now = when
+        callback(when)
+        return True
+
+    def run(self, until=None):
+        """Run until the event queue drains or the clock reaches ``until``.
+
+        When stopped by ``until`` the clock is advanced exactly to
+        ``until`` even if no event falls on that instant, so power
+        integration up to the horizon is exact.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return self.now
+        if until < self.now:
+            raise SchedulingError(f"cannot run until {until} < now {self.now}")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self.now = until
+        return self.now
+
+    def peek(self):
+        """Time of the next scheduled event, or ``None`` if queue is empty."""
+        return self._heap[0][0] if self._heap else None

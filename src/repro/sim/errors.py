@@ -1,0 +1,29 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at an invalid time (e.g. in the past)."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process misbehaved (e.g. yielded a non-waitable)."""
+
+
+class ResourceError(SimulationError):
+    """Invalid resource operation (e.g. releasing a resource not held)."""
+
+
+class Interrupted(SimulationError):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause

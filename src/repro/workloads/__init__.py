@@ -1,0 +1,56 @@
+"""Workload descriptors for the four adaptive applications."""
+
+from repro.workloads.images import IMAGES, JPEG_QUALITIES, WebImage, image_by_name
+from repro.workloads.maps import MAP_FIDELITIES, MAPS, CityMap, map_by_name
+from repro.workloads.stochastic import BurstySchedule, generate_schedules
+from repro.workloads.trace import SessionTrace, TraceAction, TraceError
+from repro.workloads.thinktime import (
+    DEFAULT_THINK_S,
+    THINK_SWEEP_S,
+    FixedThinkTime,
+    RandomThinkTime,
+)
+from repro.workloads.utterances import (
+    SPEECH_MODELS,
+    UTTERANCES,
+    WAVEFORM_BYTES_PER_SECOND,
+    Utterance,
+    utterance_by_name,
+)
+from repro.workloads.videos import (
+    TRACKS,
+    VIDEO_CLIPS,
+    WINDOWS,
+    VideoClip,
+    clip_by_name,
+)
+
+__all__ = [
+    "VideoClip",
+    "VIDEO_CLIPS",
+    "TRACKS",
+    "WINDOWS",
+    "clip_by_name",
+    "Utterance",
+    "UTTERANCES",
+    "SPEECH_MODELS",
+    "WAVEFORM_BYTES_PER_SECOND",
+    "utterance_by_name",
+    "CityMap",
+    "MAPS",
+    "MAP_FIDELITIES",
+    "map_by_name",
+    "WebImage",
+    "IMAGES",
+    "JPEG_QUALITIES",
+    "image_by_name",
+    "FixedThinkTime",
+    "RandomThinkTime",
+    "DEFAULT_THINK_S",
+    "THINK_SWEEP_S",
+    "BurstySchedule",
+    "generate_schedules",
+    "SessionTrace",
+    "TraceAction",
+    "TraceError",
+]

@@ -1,0 +1,61 @@
+"""Web workload: four GIF images (paper Section 3.6).
+
+The images range from 110 bytes to 175 kB.  A distillation server
+transcodes each image to lower fidelity with lossy JPEG compression at
+qualities 75 / 50 / 25 / 5 before transmission — the strategy of Fox
+et al., with fidelity control at the client.  Tiny images cannot
+shrink much (there is a floor of protocol and header bytes), which is
+why the paper finds the energy benefit of Web fidelity reduction
+"disappointing" (4–14 % below hardware-only power management).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WebImage", "IMAGES", "JPEG_QUALITIES", "image_by_name"]
+
+# JPEG qualities ordered lowest fidelity first.
+JPEG_QUALITIES = ("jpeg-5", "jpeg-25", "jpeg-50", "jpeg-75", "full")
+
+# Transcoded size as a fraction of the original.
+QUALITY_FACTOR = {
+    "full": 1.00,
+    "jpeg-75": 0.55,
+    "jpeg-50": 0.38,
+    "jpeg-25": 0.24,
+    "jpeg-5": 0.10,
+}
+
+# No transcoding shrinks below headers + minimal payload.
+MIN_BYTES = 110
+
+
+@dataclass(frozen=True)
+class WebImage:
+    """One Web image with distillation sizes."""
+
+    name: str
+    full_bytes: int
+
+    def bytes_at(self, quality):
+        """Transfer size after distillation to ``quality``."""
+        if quality not in QUALITY_FACTOR:
+            raise KeyError(f"{self.name}: unknown JPEG quality {quality!r}")
+        return max(MIN_BYTES, int(self.full_bytes * QUALITY_FACTOR[quality]))
+
+
+IMAGES = (
+    WebImage("image-1", 175_000),
+    WebImage("image-2", 80_000),
+    WebImage("image-3", 21_000),
+    WebImage("image-4", 110),
+)
+
+
+def image_by_name(name):
+    """Look up one of the four measurement images."""
+    for image in IMAGES:
+        if image.name == name:
+            return image
+    raise KeyError(f"unknown image {name!r}")

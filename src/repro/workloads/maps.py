@@ -1,0 +1,76 @@
+"""Map workload: four U.S. city maps (paper Section 3.5).
+
+Fidelity is lowered by *filtering* (dropping minor roads, then also
+secondary roads) and by *cropping* (restricting to a geographic subset
+of half the original height and width).  Both act on the server before
+transmission, so the client-side effect is fewer bytes fetched and
+rendered.  Per-city size factors differ — a dense urban grid loses
+more bytes to a road filter than a sparse one — which produces the wide
+per-object savings bands of Figure 10 (e.g. 6–51 % for the minor-road
+filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CityMap", "MAPS", "MAP_FIDELITIES", "map_by_name"]
+
+# Fidelity names ordered lowest fidelity first (crop + aggressive filter
+# is the paper's "lowest fidelity" for maps).
+MAP_FIDELITIES = (
+    "crop-secondary",
+    "crop-minor",
+    "cropped",
+    "secondary-filter",
+    "minor-filter",
+    "full",
+)
+
+
+@dataclass(frozen=True)
+class CityMap:
+    """One city map with per-fidelity transfer sizes.
+
+    ``minor_factor``/``secondary_factor`` are the byte fractions that
+    survive the two filters; ``crop_factor`` the fraction inside the
+    cropped region.  Filters and cropping compose multiplicatively.
+    """
+
+    name: str
+    full_bytes: int
+    minor_factor: float
+    secondary_factor: float
+    crop_factor: float = 0.55
+
+    def bytes_at(self, fidelity):
+        """Transfer size at the requested fidelity."""
+        factors = {
+            "full": 1.0,
+            "minor-filter": self.minor_factor,
+            "secondary-filter": self.secondary_factor,
+            "cropped": self.crop_factor,
+            "crop-minor": self.crop_factor * self.minor_factor,
+            "crop-secondary": self.crop_factor * self.secondary_factor,
+        }
+        if fidelity not in factors:
+            raise KeyError(f"{self.name}: unknown map fidelity {fidelity!r}")
+        return max(1, int(self.full_bytes * factors[fidelity]))
+
+
+# Dense grids (San Jose) shed many bytes to filtering; sparse towns
+# (Allentown) shed few — matching the paper's spread across objects.
+MAPS = (
+    CityMap("san-jose", 1_900_000, minor_factor=0.42, secondary_factor=0.28),
+    CityMap("allentown", 900_000, minor_factor=0.88, secondary_factor=0.62),
+    CityMap("boston", 1_500_000, minor_factor=0.60, secondary_factor=0.38),
+    CityMap("pittsburgh", 1_200_000, minor_factor=0.72, secondary_factor=0.45),
+)
+
+
+def map_by_name(name):
+    """Look up one of the four measurement maps."""
+    for city in MAPS:
+        if city.name == name:
+            return city
+    raise KeyError(f"unknown map {name!r}")

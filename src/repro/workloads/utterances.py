@@ -1,0 +1,72 @@
+"""Speech workload: four pre-recorded utterances (paper Section 3.4).
+
+Utterances run one to seven seconds.  The waveform is 16-bit 16 kHz
+mono (32 kB per second of speech) — what the front-end ships to a
+remote Janus instance in remote mode.  Recognition cost is expressed
+as a real-time factor (CPU seconds per utterance second); the full
+vocabulary/acoustic model is several times slower than the reduced
+model, which is the paper's fidelity dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Utterance",
+    "UTTERANCES",
+    "SPEECH_MODELS",
+    "WAVEFORM_BYTES_PER_SECOND",
+    "utterance_by_name",
+]
+
+WAVEFORM_BYTES_PER_SECOND = 32_000  # 16-bit 16 kHz mono
+
+# Recognition real-time factors by vocabulary/acoustic model.  The
+# reduced model substantially shrinks the search space (paper: "this
+# substantially reduces the memory footprint and processing required").
+SPEECH_MODELS = {
+    "full": {"rtf": 1.6},
+    "reduced": {"rtf": 0.95},
+}
+
+
+@dataclass(frozen=True)
+class Utterance:
+    """One spoken utterance.
+
+    ``complexity`` scatters per-utterance recognition effort around the
+    model's real-time factor — the source of the cross-object variation
+    visible in the paper's Figure 8.
+    """
+
+    name: str
+    duration_s: float
+    complexity: float = 1.0
+
+    @property
+    def waveform_bytes(self):
+        """Raw waveform size shipped for remote recognition."""
+        return int(self.duration_s * WAVEFORM_BYTES_PER_SECOND)
+
+    def recognition_seconds(self, model):
+        """CPU seconds to recognize this utterance with ``model``."""
+        if model not in SPEECH_MODELS:
+            raise KeyError(f"unknown speech model {model!r}")
+        return self.duration_s * SPEECH_MODELS[model]["rtf"] * self.complexity
+
+
+UTTERANCES = (
+    Utterance("utterance-1", 1.4, complexity=1.10),
+    Utterance("utterance-2", 3.1, complexity=0.95),
+    Utterance("utterance-3", 5.2, complexity=1.00),
+    Utterance("utterance-4", 6.8, complexity=0.90),
+)
+
+
+def utterance_by_name(name):
+    """Look up one of the four measurement utterances."""
+    for utterance in UTTERANCES:
+        if utterance.name == name:
+            return utterance
+    raise KeyError(f"unknown utterance {name!r}")

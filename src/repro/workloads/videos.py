@@ -1,0 +1,97 @@
+"""Video workload: four QuickTime/Cinepak clips (paper Section 3.3).
+
+The clips range from 127 to 226 seconds.  Multiple *tracks* of each
+clip live on the server, generated offline with Adobe Premiere: the
+original encoding ("baseline") and two increasingly lossy encodings
+("premiere-b", "premiere-c").  Per-frame byte sizes are calibrated so
+the baseline stream nearly saturates the 2 Mb/s WaveLAN — the paper
+notes the processor idles because the network cannot deliver frames
+faster.  Decode cost scales with encoded frame size; render cost
+scales with the display-window area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VideoClip", "VIDEO_CLIPS", "TRACKS", "WINDOWS", "clip_by_name"]
+
+# Lossy-compression tracks, ordered lowest fidelity first.
+TRACKS = ("premiere-c", "premiere-b", "baseline")
+
+# Display-window geometries (pixels).  "reduced" halves both height and
+# width, quartering the area (Section 3.3.2).
+WINDOWS = {
+    "full": (320, 240),
+    "reduced": (160, 120),
+}
+
+# Encoded size relative to the baseline track.  Premiere-B is the
+# milder compression, Premiere-C the aggressive one.
+TRACK_BYTE_FACTOR = {
+    "baseline": 1.00,
+    "premiere-b": 0.70,
+    "premiere-c": 0.45,
+}
+
+
+@dataclass(frozen=True)
+class VideoClip:
+    """One clip: duration, frame rate, and per-track frame sizes."""
+
+    name: str
+    duration_s: float
+    fps: float
+    baseline_frame_bytes: int
+    frame_bytes: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.frame_bytes:
+            object.__setattr__(
+                self,
+                "frame_bytes",
+                {
+                    track: int(self.baseline_frame_bytes * factor)
+                    for track, factor in TRACK_BYTE_FACTOR.items()
+                },
+            )
+
+    @property
+    def frame_count(self):
+        """Total frames in the clip."""
+        return int(self.duration_s * self.fps)
+
+    def track_bytes(self, track):
+        """Encoded bytes of one frame on the given track."""
+        if track not in self.frame_bytes:
+            raise KeyError(f"{self.name}: unknown track {track!r}")
+        return self.frame_bytes[track]
+
+    def bitrate_bps(self, track="baseline"):
+        """Stream bitrate for a track in bits/second."""
+        return self.track_bytes(track) * 8 * self.fps
+
+
+def _clip(name, duration_s, baseline_kbps):
+    """Build a clip whose baseline track runs at ``baseline_kbps``."""
+    fps = 12.0  # Cinepak-era frame rate
+    frame_bytes = int(baseline_kbps * 1000 / 8 / fps)
+    return VideoClip(name, duration_s, fps, frame_bytes)
+
+
+# Four clips, 127–226 s, baseline bitrates near (but under) the 2 Mb/s
+# link so playback is network-limited as in the paper.
+VIDEO_CLIPS = (
+    _clip("video-1", 127.0, 1560.0),
+    _clip("video-2", 163.0, 1470.0),
+    _clip("video-3", 201.0, 1620.0),
+    _clip("video-4", 226.0, 1510.0),
+)
+
+
+def clip_by_name(name):
+    """Look up one of the four measurement clips."""
+    for clip in VIDEO_CLIPS:
+        if clip.name == name:
+            return clip
+    raise KeyError(f"unknown video clip {name!r}")

@@ -1,0 +1,290 @@
+"""Tests for the original Odyssey dimension: network-bandwidth
+adaptation via resource expectations (paper Section 2.2)."""
+
+import pytest
+
+from repro.core import (
+    ExpectationError,
+    ExpectationMonitor,
+    ExpectationRegistry,
+    ResourceWindow,
+)
+from repro.experiments import build_rig
+from repro.net import BandwidthEstimator, DisconnectedError
+from repro.sim import Simulator
+from repro.workloads.videos import VideoClip
+
+
+def fast_clip():
+    return VideoClip("bw-clip", 20.0, 12.0, 16_250)
+
+
+class TestResourceWindow:
+    def test_contains(self):
+        window = ResourceWindow(1e6, 2e6)
+        assert window.contains(1.5e6)
+        assert not window.contains(0.5e6)
+        assert not window.contains(2.5e6)
+
+    def test_boundaries_inclusive(self):
+        window = ResourceWindow(1.0, 2.0)
+        assert window.contains(1.0) and window.contains(2.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ExpectationError):
+            ResourceWindow(2.0, 1.0)
+        with pytest.raises(ExpectationError):
+            ResourceWindow(-1.0, 1.0)
+
+
+class TestExpectationRegistry:
+    def test_upcall_on_violation_and_window_update(self):
+        registry = ExpectationRegistry("bandwidth")
+        calls = []
+
+        def upcall(level, window):
+            calls.append((level, window))
+            return ResourceWindow(0.0, level * 1.2)
+
+        registry.register("video", ResourceWindow(1e6, 3e6), upcall)
+        assert registry.check(2e6) == []          # inside window
+        assert registry.check(0.5e6) == ["video"]  # violation
+        assert calls and calls[0][0] == 0.5e6
+        # The upcall's new window is now in force.
+        assert registry.window_of("video").high == pytest.approx(0.6e6)
+        assert registry.check(0.55e6) == []
+
+    def test_upcall_returning_none_keeps_window(self):
+        registry = ExpectationRegistry("bandwidth")
+        registry.register("app", ResourceWindow(1.0, 2.0), lambda l, w: None)
+        registry.check(5.0)
+        assert registry.window_of("app") == ResourceWindow(1.0, 2.0)
+
+    def test_upcall_returning_junk_rejected(self):
+        registry = ExpectationRegistry("bandwidth")
+        registry.register("app", ResourceWindow(1.0, 2.0), lambda l, w: 42)
+        with pytest.raises(ExpectationError):
+            registry.check(5.0)
+
+    def test_non_window_registration_rejected(self):
+        registry = ExpectationRegistry("bandwidth")
+        with pytest.raises(ExpectationError):
+            registry.register("app", (1.0, 2.0), lambda l, w: None)
+
+    def test_unregister(self):
+        registry = ExpectationRegistry("bandwidth")
+        registry.register("app", ResourceWindow(1.0, 2.0), lambda l, w: None)
+        registry.unregister("app")
+        assert registry.check(5.0) == []
+        assert registry.window_of("app") is None
+
+
+class TestBandwidthEstimator:
+    def test_estimates_link_bandwidth_from_transfers(self):
+        sim = Simulator()
+        rig = build_rig()
+        estimator = BandwidthEstimator(rig.link)
+
+        def fetch():
+            yield from rig.link.recv(250_000)  # 1 s at 2 Mb/s
+
+        proc = rig.sim.spawn(fetch())
+        rig.run_until_complete(proc)
+        assert estimator.has_estimate
+        # Latency makes the observed goodput slightly below nominal.
+        assert estimator.estimate_bps == pytest.approx(2e6, rel=0.05)
+
+    def test_tiny_transfers_ignored(self):
+        rig = build_rig()
+        estimator = BandwidthEstimator(rig.link, min_sample_bytes=512)
+
+        def fetch():
+            yield from rig.link.recv(100)
+
+        proc = rig.sim.spawn(fetch())
+        rig.run_until_complete(proc)
+        assert not estimator.has_estimate
+
+    def test_ewma_tracks_bandwidth_change(self):
+        rig = build_rig()
+        estimator = BandwidthEstimator(rig.link, gain=0.5)
+
+        def fetches():
+            yield from rig.link.recv(250_000)
+            rig.link.set_bandwidth(1e6)
+            for _ in range(8):
+                yield from rig.link.recv(250_000)
+
+        proc = rig.sim.spawn(fetches())
+        rig.run_until_complete(proc)
+        assert estimator.estimate_bps == pytest.approx(1e6, rel=0.1)
+
+    def test_invalid_gain_rejected(self):
+        rig = build_rig()
+        with pytest.raises(ValueError):
+            BandwidthEstimator(rig.link, gain=0.0)
+
+    def test_reset(self):
+        rig = build_rig()
+        estimator = BandwidthEstimator(rig.link)
+        estimator._on_transfer(250_000, 1.0)
+        estimator.reset()
+        assert not estimator.has_estimate
+        assert estimator.samples == 0
+
+
+class TestVideoBandwidthAdaptation:
+    def test_fidelity_for_bandwidth_picks_fitting_track(self):
+        rig = build_rig()
+        player = rig.apps["video"]
+        clip = fast_clip()
+        full = clip.bitrate_bps("baseline")
+        assert player.fidelity_for_bandwidth(clip, full * 1.2) == "baseline"
+        assert player.fidelity_for_bandwidth(clip, full * 0.8) == "premiere-b"
+        assert player.fidelity_for_bandwidth(clip, full * 0.5) == "premiere-c"
+        assert player.fidelity_for_bandwidth(clip, 1.0) == "premiere-c"
+
+    def test_bandwidth_window_brackets_current_level(self):
+        rig = build_rig()
+        player = rig.apps["video"]
+        clip = fast_clip()
+        window = player.bandwidth_window(clip, "premiere-b")
+        assert window.low < clip.bitrate_bps("premiere-b") / 0.85
+        assert window.high > window.low
+        # The bottom level tolerates any low bandwidth.
+        bottom = player.bandwidth_window(clip, "premiere-c")
+        assert bottom.low == 0.0
+        # The top level tolerates any high bandwidth.
+        top = player.bandwidth_window(clip, "baseline")
+        assert top.high == float("inf")
+
+    def test_end_to_end_bandwidth_drop_degrades_video(self):
+        """The paper's §2.2 scenario: bandwidth drops mid-stream and the
+        video player switches to a lossier track via upcall."""
+        rig = build_rig()
+        player = rig.apps["video"]
+        clip = fast_clip()
+        estimator = BandwidthEstimator(rig.link, gain=0.6)
+        registry = ExpectationRegistry("bandwidth")
+        registry.register(
+            "video",
+            player.bandwidth_window(clip, "baseline"),
+            player.bandwidth_upcall(clip),
+        )
+        monitor = ExpectationMonitor(
+            rig.sim, registry, lambda: estimator.estimate_bps, period=0.5
+        )
+        monitor.start()
+        proc = rig.sim.spawn(player.play(clip))
+        # Bandwidth collapses to 0.9 Mb/s five seconds in.
+        rig.sim.schedule(5.0, lambda t: rig.link.set_bandwidth(0.9e6))
+        rig.run_until_complete(proc)
+        assert player.fidelity == "premiere-c"
+        assert registry.upcalls_delivered >= 1
+
+    def test_bandwidth_recovery_upgrades_video(self):
+        rig = build_rig()
+        player = rig.apps["video"]
+        clip = fast_clip()
+        player.set_fidelity("premiere-c")
+        estimator = BandwidthEstimator(rig.link, gain=0.6)
+        registry = ExpectationRegistry("bandwidth")
+        registry.register(
+            "video",
+            player.bandwidth_window(clip, "premiere-c"),
+            player.bandwidth_upcall(clip),
+        )
+        monitor = ExpectationMonitor(
+            rig.sim, registry, lambda: estimator.estimate_bps, period=0.5
+        )
+        monitor.start()
+        proc = rig.sim.spawn(player.play(clip))
+        rig.run_until_complete(proc)
+        # Plenty of bandwidth for the premiere-c stream -> upcall
+        # upgraded the player toward the baseline track.
+        assert player.fidelity in ("baseline", "premiere-b")
+
+
+class TestDisconnection:
+    def test_transfer_on_downed_link_raises(self):
+        rig = build_rig()
+        rig.link.set_up(False)
+
+        def fetch():
+            yield from rig.link.recv(1000)
+
+        proc = rig.sim.spawn(fetch())
+        with pytest.raises(DisconnectedError):
+            rig.run_until_complete(proc)
+
+    def test_speech_falls_back_to_local_when_disconnected(self):
+        """Paper §3.4: local recognition is unavoidable when
+        disconnected."""
+        from repro.workloads import UTTERANCES
+
+        rig = build_rig(speech_mode="remote", display_policy="off")
+        rig.link.set_up(False)
+        recognizer = rig.apps["speech"]
+        proc = rig.sim.spawn(recognizer.recognize(UTTERANCES[0]))
+        rig.run_until_complete(proc)
+        assert recognizer.fallbacks_to_local == 1
+        assert rig.link.bytes_transferred == 0
+
+    def test_speech_uses_network_again_after_reconnect(self):
+        from repro.workloads import UTTERANCES
+
+        rig = build_rig(speech_mode="remote", display_policy="off")
+        rig.link.set_up(False)
+        recognizer = rig.apps["speech"]
+
+        def session():
+            yield from recognizer.recognize(UTTERANCES[0])
+            rig.link.set_up(True)
+            yield from recognizer.recognize(UTTERANCES[0])
+
+        proc = rig.sim.spawn(session())
+        rig.run_until_complete(proc)
+        assert recognizer.fallbacks_to_local == 1
+        assert rig.link.bytes_transferred > 0
+
+    def test_recommend_mode_policy(self):
+        rig = build_rig(speech_mode="remote", display_policy="off")
+        recognizer = rig.apps["speech"]
+        assert recognizer.recommend_mode(0.9) == "local"
+        assert recognizer.recommend_mode(0.4) == "hybrid"
+        assert recognizer.recommend_mode(0.05) == "remote"
+        rig.link.set_up(False)
+        assert recognizer.recommend_mode(0.4) == "local"
+
+    def test_set_mode_validation(self):
+        rig = build_rig(display_policy="off")
+        recognizer = rig.apps["speech"]
+        recognizer.set_mode("hybrid")
+        assert recognizer.mode == "hybrid"
+        with pytest.raises(ValueError):
+            recognizer.set_mode("clairvoyance")
+
+
+class TestExpectationMonitor:
+    def test_invalid_period_rejected(self):
+        registry = ExpectationRegistry("x")
+        with pytest.raises(ExpectationError):
+            ExpectationMonitor(Simulator(), registry, lambda: 1.0, period=0.0)
+
+    def test_none_level_skips_check(self):
+        sim = Simulator()
+        registry = ExpectationRegistry("x")
+        monitor = ExpectationMonitor(sim, registry, lambda: None, period=1.0)
+        monitor.start()
+        sim.run(until=5.0)
+        assert monitor.checks == 0
+
+    def test_stop_halts_checks(self):
+        sim = Simulator()
+        registry = ExpectationRegistry("x")
+        monitor = ExpectationMonitor(sim, registry, lambda: 1.0, period=1.0)
+        monitor.start()
+        sim.run(until=3.5)
+        monitor.stop()
+        sim.run(until=10.0)
+        assert monitor.checks == 3

@@ -1,0 +1,187 @@
+"""Tests for the non-ideal battery models."""
+
+import pytest
+
+from repro.hardware import (
+    Machine,
+    PeukertBattery,
+    PowerComponent,
+    RecoveryBattery,
+    SupplyError,
+    VoltageCurve,
+)
+from repro.sim import Simulator
+
+
+class TestPeukertBattery:
+    def test_ideal_exponent_behaves_like_ideal_battery(self):
+        battery = PeukertBattery(100.0, rated_power_w=10.0, exponent=1.0)
+        battery.note_power(30.0)
+        battery.drain(10.0)
+        assert battery.residual == pytest.approx(90.0)
+
+    def test_heavy_draw_wastes_capacity(self):
+        battery = PeukertBattery(100.0, rated_power_w=10.0, exponent=1.2)
+        battery.note_power(40.0)  # 4x rated
+        battery.drain(10.0)
+        # Effective drain = 10 * 4^0.2 > 10.
+        assert battery.residual < 90.0
+
+    def test_light_draw_approaches_ideal_from_below(self):
+        battery = PeukertBattery(100.0, rated_power_w=10.0, exponent=1.2)
+        battery.note_power(5.0)  # half rated
+        battery.drain(10.0)
+        assert battery.residual > 90.0  # less than nominal drain
+
+    def test_validation(self):
+        with pytest.raises(SupplyError):
+            PeukertBattery(0.0, 10.0)
+        with pytest.raises(SupplyError):
+            PeukertBattery(10.0, 0.0)
+        with pytest.raises(SupplyError):
+            PeukertBattery(10.0, 10.0, exponent=0.9)
+        battery = PeukertBattery(10.0, 10.0)
+        with pytest.raises(SupplyError):
+            battery.note_power(-1.0)
+        with pytest.raises(SupplyError):
+            battery.drain(-1.0)
+
+    def test_machine_feeds_power_to_battery(self):
+        """Machine.advance must notify the supply of the draw level."""
+        sim = Simulator()
+        battery = PeukertBattery(1000.0, rated_power_w=5.0, exponent=1.3)
+        machine = Machine(sim, battery)
+        machine.attach(PowerComponent("load", {"on": 20.0}, "on"))  # 4x rated
+        sim.run(until=10.0)
+        machine.advance()
+        # 200 J nominal, inflated by Peukert: 200 * 4^0.3 ≈ 303 J.
+        assert battery.drawn == pytest.approx(200.0 * 4 ** 0.3, rel=0.01)
+
+    def test_exhaustion_flag(self):
+        battery = PeukertBattery(10.0, rated_power_w=10.0)
+        battery.drain(20.0)
+        assert battery.exhausted
+        assert battery.fraction_remaining == 0.0
+
+
+class TestRecoveryBattery:
+    def test_recovery_during_light_load(self):
+        battery = RecoveryBattery(
+            100.0, recovery_fraction=0.1, idle_threshold_w=6.0,
+            recovery_rate_w=1.0,
+        )
+        battery.note_power(20.0)
+        battery.drain(50.0)           # budget = 5 J
+        battery.note_power(3.0)       # below threshold
+        recovered = battery.recover(dt=10.0)
+        assert recovered == pytest.approx(5.0)  # capped by budget
+        assert battery.residual == pytest.approx(55.0)
+
+    def test_no_recovery_under_heavy_load(self):
+        battery = RecoveryBattery(100.0, recovery_fraction=0.1)
+        battery.drain(50.0)
+        battery.note_power(20.0)  # above threshold
+        assert battery.recover(dt=100.0) == 0.0
+
+    def test_recovery_rate_limits_restoration(self):
+        battery = RecoveryBattery(
+            100.0, recovery_fraction=0.5, recovery_rate_w=0.5
+        )
+        battery.drain(50.0)
+        battery.note_power(0.0)
+        assert battery.recover(dt=2.0) == pytest.approx(1.0)  # 0.5 W * 2 s
+
+    def test_total_recovery_bounded_by_fraction(self):
+        battery = RecoveryBattery(
+            100.0, recovery_fraction=0.1, recovery_rate_w=100.0
+        )
+        battery.drain(30.0)
+        battery.note_power(0.0)
+        battery.recover(dt=100.0)
+        battery.recover(dt=100.0)
+        assert battery.recovered <= 3.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(SupplyError):
+            RecoveryBattery(0.0)
+        with pytest.raises(SupplyError):
+            RecoveryBattery(10.0, recovery_fraction=1.5)
+        battery = RecoveryBattery(10.0)
+        with pytest.raises(SupplyError):
+            battery.recover(-1.0)
+
+    def test_machine_drives_recovery(self):
+        sim = Simulator()
+        battery = RecoveryBattery(
+            1000.0, recovery_fraction=0.2, idle_threshold_w=6.0,
+            recovery_rate_w=0.5,
+        )
+        machine = Machine(sim, battery)
+        load = machine.attach(
+            PowerComponent("load", {"heavy": 20.0, "light": 2.0}, "heavy")
+        )
+        sim.run(until=10.0)           # 200 J drained at 20 W
+        load.set_state("light")
+        sim.run(until=30.0)           # light: recovery applies
+        machine.advance()
+        assert battery.recovered > 0.0
+
+
+class TestVoltageCurve:
+    def test_monotone_nonincreasing_discharge(self):
+        curve = VoltageCurve()
+        socs = [i / 100 for i in range(101)]
+        volts = [curve.voltage(s) for s in socs]
+        for lower, higher in zip(volts, volts[1:]):
+            assert higher >= lower - 1e-9
+
+    def test_endpoints(self):
+        curve = VoltageCurve(v_full=12.6, v_nominal=11.1, v_empty=9.0)
+        assert curve.voltage(1.0) == pytest.approx(12.6)
+        assert curve.voltage(0.0) == pytest.approx(9.0)
+
+    def test_plateau_is_flat_ish(self):
+        curve = VoltageCurve()
+        mid_range = curve.voltage(0.8) - curve.voltage(0.3)
+        top_drop = curve.voltage(1.0) - curve.voltage(0.9)
+        assert mid_range < top_drop * 2
+
+    def test_inverse_lookup_round_trips(self):
+        curve = VoltageCurve()
+        for soc in (0.05, 0.2, 0.5, 0.8, 0.95):
+            volts = curve.voltage(soc)
+            assert curve.soc_from_voltage(volts) == pytest.approx(soc, abs=0.02)
+
+    def test_inverse_lookup_clamps(self):
+        curve = VoltageCurve()
+        assert curve.soc_from_voltage(99.0) == 1.0
+        assert curve.soc_from_voltage(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SupplyError):
+            VoltageCurve(v_full=9.0, v_nominal=11.0, v_empty=12.0)
+        with pytest.raises(SupplyError):
+            VoltageCurve().voltage(1.5)
+
+
+class TestGoalAdaptationOnNonIdealBattery:
+    def test_goal_met_despite_peukert_losses(self):
+        """Adaptation absorbs the Peukert penalty: the controller sees
+        the higher effective drain through its power samples and
+        degrades deeper, still meeting the goal."""
+        from repro.experiments import (
+            derive_goals,
+            fidelity_runtime_bounds,
+            run_goal_experiment,
+        )
+        from repro.hardware import PeukertBattery
+
+        energy = 5_000.0
+        t_hi, t_lo = fidelity_runtime_bounds(energy)
+        goal = derive_goals(t_hi, t_lo, count=3)[0]
+        result = run_goal_experiment(
+            goal,
+            initial_energy=energy,
+            supply=PeukertBattery(energy, rated_power_w=14.0, exponent=1.03),
+        )
+        assert result.goal_met

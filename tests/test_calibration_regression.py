@@ -1,0 +1,133 @@
+"""Calibration regression net.
+
+Pins the reproduction's headline percentages to their calibrated
+values (generous tolerances).  If a model change moves any of these,
+the change is either a deliberate recalibration — update the pins and
+EXPERIMENTS.md together — or an accidental regression.
+"""
+
+import pytest
+
+from repro.experiments import (
+    measure_map,
+    measure_speech,
+    measure_video,
+    measure_web,
+)
+from repro.hardware import build_machine
+from repro.sim import Simulator
+from repro.workloads import IMAGES, MAPS, UTTERANCES
+from repro.workloads.videos import VideoClip
+
+
+def saving(measured, reference):
+    return 1.0 - measured / reference
+
+
+class TestPowerPins:
+    def test_full_on_power(self):
+        machine = build_machine(Simulator())
+        assert machine.power == pytest.approx(10.29, abs=0.02)
+
+    def test_background_power(self):
+        from repro.hardware import WaveLan
+
+        machine = build_machine(Simulator())
+        machine["display"].dim()
+        machine["disk"].standby()
+        machine["wavelan"].set_resting_state(WaveLan.STANDBY)
+        assert machine.power == pytest.approx(5.60, abs=0.02)
+
+
+class TestVideoPins:
+    """Figure 6 bands as measured by the frozen calibration."""
+
+    @pytest.fixture(scope="class")
+    def energies(self):
+        clip = VideoClip("pin", 20.0, 12.0, 16_250)
+        return {
+            c: measure_video(clip, c)
+            for c in ("baseline", "hw-only", "premiere-c",
+                      "reduced-window", "combined")
+        }
+
+    def test_hw_only_band(self, energies):
+        value = saving(energies["hw-only"], energies["baseline"])
+        assert value == pytest.approx(0.06, abs=0.02)
+
+    def test_premiere_c_band(self, energies):
+        value = saving(energies["premiere-c"], energies["hw-only"])
+        assert value == pytest.approx(0.145, abs=0.025)
+
+    def test_reduced_window_band(self, energies):
+        value = saving(energies["reduced-window"], energies["hw-only"])
+        assert value == pytest.approx(0.175, abs=0.025)
+
+    def test_combined_vs_baseline_band(self, energies):
+        value = saving(energies["combined"], energies["baseline"])
+        assert value == pytest.approx(0.36, abs=0.03)
+
+
+class TestSpeechPins:
+    @pytest.fixture(scope="class")
+    def energies(self):
+        utt = UTTERANCES[2]
+        return {
+            c: measure_speech(utt, c)
+            for c in ("baseline", "hw-only", "reduced", "remote",
+                      "hybrid", "hybrid-reduced")
+        }
+
+    def test_hw_only_band(self, energies):
+        value = saving(energies["hw-only"], energies["baseline"])
+        assert value == pytest.approx(0.345, abs=0.02)
+
+    def test_reduced_band(self, energies):
+        value = saving(energies["reduced"], energies["hw-only"])
+        assert value == pytest.approx(0.40, abs=0.04)
+
+    def test_remote_band(self, energies):
+        value = saving(energies["remote"], energies["hw-only"])
+        assert value == pytest.approx(0.35, abs=0.05)
+
+    def test_hybrid_band(self, energies):
+        value = saving(energies["hybrid"], energies["hw-only"])
+        assert value == pytest.approx(0.47, abs=0.05)
+
+    def test_combined_band(self, energies):
+        value = saving(energies["hybrid-reduced"], energies["baseline"])
+        assert value == pytest.approx(0.71, abs=0.04)
+
+
+class TestMapPins:
+    def test_hw_only_band(self):
+        city = MAPS[2]  # boston
+        base = measure_map(city, "baseline")
+        pm = measure_map(city, "hw-only")
+        assert saving(pm, base) == pytest.approx(0.17, abs=0.03)
+
+    def test_lowest_band(self):
+        city = MAPS[0]  # san-jose: strongest filters
+        pm = measure_map(city, "hw-only")
+        lowest = measure_map(city, "crop-secondary")
+        assert saving(lowest, pm) == pytest.approx(0.57, abs=0.06)
+
+
+class TestWebPins:
+    def test_hw_only_band(self):
+        image = IMAGES[0]
+        base = measure_web(image, "baseline")
+        pm = measure_web(image, "hw-only")
+        assert saving(pm, base) == pytest.approx(0.24, abs=0.03)
+
+    def test_lowest_band(self):
+        image = IMAGES[0]
+        pm = measure_web(image, "hw-only")
+        lowest = measure_web(image, "jpeg-5")
+        assert saving(lowest, pm) == pytest.approx(0.14, abs=0.04)
+
+    def test_tiny_image_no_benefit(self):
+        image = IMAGES[3]  # 110 B
+        pm = measure_web(image, "hw-only")
+        lowest = measure_web(image, "jpeg-5")
+        assert saving(lowest, pm) == pytest.approx(0.0, abs=0.02)

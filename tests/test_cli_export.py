@@ -1,0 +1,101 @@
+"""Tests for the command-line interface and CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import energy_table_csv, timeline_csv, write_csv
+from repro.cli import build_parser, main
+from repro.sim import Timeline
+
+
+class TestEnergyTableCsv:
+    TABLE = {
+        "baseline": {"a": 10.0, "b": 20.0},
+        "hw-only": {"a": 9.0, "b": 18.0},
+    }
+
+    def test_round_trips_through_csv_reader(self):
+        text = energy_table_csv(self.TABLE)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["config", "a", "b"]
+        assert rows[1] == ["baseline", "10.0", "20.0"]
+        assert rows[2] == ["hw-only", "9.0", "18.0"]
+
+    def test_explicit_object_order(self):
+        text = energy_table_csv(self.TABLE, object_names=["b", "a"])
+        header = text.splitlines()[0]
+        assert header == "config,b,a"
+
+    def test_missing_object_becomes_empty_cell(self):
+        table = {"x": {"a": 1.0}}
+        text = energy_table_csv(table, object_names=["a", "ghost"])
+        assert text.splitlines()[1] == "x,1.0,"
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            energy_table_csv({})
+
+
+class TestTimelineCsv:
+    def test_exports_records(self):
+        timeline = Timeline()
+        timeline.record(1.0, "energy", "supply", 100.0)
+        timeline.record(1.5, "fidelity", "video", ("baseline", 1.0))
+        text = timeline_csv(timeline)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["time", "category", "label", "value", "extra"]
+        assert rows[1] == ["1.0", "energy", "supply", "100.0", ""]
+        assert rows[2] == ["1.5", "fidelity", "video", "baseline", "1.0"]
+
+    def test_category_filter(self):
+        timeline = Timeline()
+        timeline.record(1.0, "energy", "supply", 100.0)
+        timeline.record(2.0, "hardware", "disk", "standby")
+        text = timeline_csv(timeline, categories={"energy"})
+        assert "disk" not in text
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), "a,b\n1,2\n")
+        assert path.read_text() == "a,b\n1,2\n"
+
+
+class TestCli:
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["warp-drive"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_goal_command_exit_code_reflects_outcome(self, capsys):
+        code = main(["goal", "--energy", "3000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MET" in out
+
+    def test_goal_command_writes_trace_csv(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        main(["goal", "--energy", "3000", "--csv", str(path)])
+        text = path.read_text()
+        assert text.startswith("time,category,label,value")
+        assert "supply" in text
+        assert "fidelity" in text or "video" in text
+
+    def test_fig13_command_prints_and_exports(self, tmp_path, capsys):
+        path = tmp_path / "fig13.csv"
+        code = main(["fig13", "--think", "5", "--csv", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline" in out and "jpeg-5" in out
+        assert path.read_text().startswith("config,")
+
+    def test_profile_command_prints_profile(self, capsys):
+        code = main(["profile", "--seconds", "5", "--rate", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "xanim" in out
+        assert "Total" in out

@@ -1,0 +1,301 @@
+"""Tests for fidelity ladders, hysteresis, priorities, supply, demand."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AdaptationTrigger,
+    DEGRADE,
+    DemandPredictor,
+    EnergySupply,
+    FidelityError,
+    FidelityLadder,
+    HOLD,
+    PriorityLadder,
+    UPGRADE,
+    alpha_for_halflife,
+)
+
+
+class TestFidelityLadder:
+    def test_starts_at_highest_fidelity(self):
+        ladder = FidelityLadder("video", ["low", "mid", "high"])
+        assert ladder.current == "high"
+        assert ladder.at_top
+        assert not ladder.at_bottom
+
+    def test_custom_start_level(self):
+        ladder = FidelityLadder("video", ["low", "mid", "high"], start="mid")
+        assert ladder.current == "mid"
+
+    def test_degrade_and_upgrade_walk_the_ladder(self):
+        ladder = FidelityLadder("x", ["a", "b", "c"])
+        assert ladder.degrade() == "b"
+        assert ladder.degrade() == "a"
+        assert ladder.at_bottom
+        assert ladder.upgrade() == "b"
+        assert ladder.transitions == 3
+
+    def test_degrade_below_bottom_raises(self):
+        ladder = FidelityLadder("x", ["only"])
+        with pytest.raises(FidelityError):
+            ladder.degrade()
+
+    def test_upgrade_above_top_raises(self):
+        ladder = FidelityLadder("x", ["a", "b"])
+        with pytest.raises(FidelityError):
+            ladder.upgrade()
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(FidelityError):
+            FidelityLadder("x", [])
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(FidelityError):
+            FidelityLadder("x", ["a", "a"])
+
+    def test_set_level_jumps_and_counts_once(self):
+        ladder = FidelityLadder("x", ["a", "b", "c"])
+        ladder.set_level("a")
+        assert ladder.current == "a"
+        assert ladder.transitions == 1
+        ladder.set_level("a")  # no-op
+        assert ladder.transitions == 1
+
+    def test_set_unknown_level_raises(self):
+        with pytest.raises(FidelityError):
+            FidelityLadder("x", ["a"]).set_level("z")
+
+    def test_normalized_position(self):
+        ladder = FidelityLadder("x", ["a", "b", "c"])
+        assert ladder.normalized() == 1.0
+        ladder.degrade()
+        assert ladder.normalized() == pytest.approx(0.5)
+        ladder.degrade()
+        assert ladder.normalized() == 0.0
+
+    def test_normalized_single_level(self):
+        assert FidelityLadder("x", ["only"]).normalized() == 1.0
+
+
+class TestEnergySupply:
+    def test_residual_decreases_with_samples(self):
+        supply = EnergySupply(100.0)
+        supply.on_sample(0.1, watts=10.0, dt=0.1)
+        assert supply.residual == pytest.approx(99.0)
+
+    def test_initial_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EnergySupply(0.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            EnergySupply(10.0).on_sample(0.0, 1.0, -0.1)
+
+    def test_depletion_and_fraction(self):
+        supply = EnergySupply(10.0)
+        supply.on_sample(0.0, watts=10.0, dt=1.0)
+        assert supply.depleted
+        assert supply.fraction_remaining == 0.0
+
+    def test_residual_can_go_negative(self):
+        """Overrun is visible (a failed goal), not silently clamped."""
+        supply = EnergySupply(10.0)
+        supply.on_sample(0.0, watts=20.0, dt=1.0)
+        assert supply.residual == pytest.approx(-10.0)
+
+    def test_add_credits_energy(self):
+        supply = EnergySupply(10.0)
+        supply.add(5.0)
+        assert supply.residual == pytest.approx(15.0)
+        with pytest.raises(ValueError):
+            supply.add(-1.0)
+
+
+class TestAlphaForHalflife:
+    def test_alpha_halves_weight_after_halflife(self):
+        alpha = alpha_for_halflife(halflife=10.0, dt=1.0)
+        assert alpha ** 10 == pytest.approx(0.5)
+
+    def test_longer_halflife_means_larger_alpha(self):
+        assert alpha_for_halflife(100.0, 1.0) > alpha_for_halflife(10.0, 1.0)
+
+    def test_zero_halflife_gives_zero_alpha(self):
+        assert alpha_for_halflife(0.0, 1.0) == 0.0
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError):
+            alpha_for_halflife(10.0, 0.0)
+
+
+class TestDemandPredictor:
+    def test_first_sample_initializes_estimate(self):
+        predictor = DemandPredictor()
+        predictor.update(8.0, dt=0.1, time_remaining=100.0)
+        assert predictor.smoothed_watts == pytest.approx(8.0)
+
+    def test_prediction_is_power_times_remaining(self):
+        predictor = DemandPredictor()
+        predictor.update(8.0, dt=0.1, time_remaining=100.0)
+        assert predictor.predict(50.0) == pytest.approx(400.0)
+
+    def test_no_samples_predicts_zero(self):
+        assert DemandPredictor().predict(100.0) == 0.0
+
+    def test_negative_remaining_predicts_zero(self):
+        predictor = DemandPredictor()
+        predictor.update(8.0, dt=0.1, time_remaining=10.0)
+        assert predictor.predict(-5.0) == 0.0
+
+    def test_estimate_converges_to_new_level(self):
+        predictor = DemandPredictor(halflife_fraction=0.10)
+        predictor.update(10.0, dt=0.1, time_remaining=100.0)
+        for _ in range(2000):
+            predictor.update(4.0, dt=0.1, time_remaining=100.0)
+        assert predictor.smoothed_watts == pytest.approx(4.0, abs=0.01)
+
+    def test_agility_grows_as_goal_nears(self):
+        """Same power step is absorbed faster when less time remains."""
+
+        def response(remaining):
+            predictor = DemandPredictor(halflife_fraction=0.10)
+            predictor.update(10.0, dt=0.1, time_remaining=remaining)
+            for _ in range(100):  # 10 seconds of samples
+                predictor.update(4.0, dt=0.1, time_remaining=remaining)
+            return predictor.smoothed_watts
+
+        far = response(remaining=1800.0)
+        near = response(remaining=60.0)
+        assert near < far  # closer to the new 4 W level
+
+    def test_halflife_semantics_end_to_end(self):
+        """After one half-life, old and new weigh equally (paper's example)."""
+        remaining = 1800.0  # 30 minutes -> half-life 180 s
+        predictor = DemandPredictor(halflife_fraction=0.10)
+        predictor.update(10.0, dt=0.1, time_remaining=remaining)
+        for _ in range(1800):  # 180 s of 0.1 s samples at the new level
+            predictor.update(0.0, dt=0.1, time_remaining=remaining)
+        assert predictor.smoothed_watts == pytest.approx(5.0, rel=0.01)
+
+    def test_invalid_halflife_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            DemandPredictor(halflife_fraction=0.0)
+
+
+class TestAdaptationTrigger:
+    def test_degrade_when_demand_exceeds_supply(self):
+        trigger = AdaptationTrigger(initial_energy=1000.0)
+        assert trigger.decide(predicted_demand=600.0, residual=500.0) == DEGRADE
+
+    def test_hold_inside_hysteresis_zone(self):
+        trigger = AdaptationTrigger(initial_energy=1000.0)
+        # margin = 5% * 500 + 1% * 1000 = 35 J
+        assert trigger.decide(480.0, 500.0) == HOLD
+
+    def test_upgrade_beyond_margin(self):
+        trigger = AdaptationTrigger(initial_energy=1000.0)
+        assert trigger.decide(400.0, 500.0) == UPGRADE
+
+    def test_margin_composition(self):
+        trigger = AdaptationTrigger(
+            initial_energy=1000.0, variable_fraction=0.05, constant_fraction=0.01
+        )
+        assert trigger.upgrade_margin(500.0) == pytest.approx(35.0)
+
+    def test_constant_component_biases_against_low_energy_upgrades(self):
+        """At low residual the constant term dominates the margin."""
+        trigger = AdaptationTrigger(initial_energy=10_000.0)
+        # Residual 100 J, demand 50 J: surplus 50 J < 5 + 100 J margin.
+        assert trigger.decide(50.0, 100.0) == HOLD
+
+    def test_zero_margin_configuration(self):
+        trigger = AdaptationTrigger(
+            initial_energy=1000.0, variable_fraction=0.0, constant_fraction=0.0
+        )
+        assert trigger.decide(499.0, 500.0) == UPGRADE
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptationTrigger(initial_energy=0.0)
+        with pytest.raises(ValueError):
+            AdaptationTrigger(initial_energy=1.0, variable_fraction=-0.1)
+
+
+class FakeApp:
+    """Minimal adaptive-application protocol for ladder tests."""
+
+    def __init__(self, name, priority, levels=3):
+        self.name = name
+        self.priority = priority
+        self.ladder = FidelityLadder(name, [f"l{i}" for i in range(levels)])
+
+    def can_degrade(self):
+        return not self.ladder.at_bottom
+
+    def can_upgrade(self):
+        return not self.ladder.at_top
+
+    def degrade(self):
+        return self.ladder.degrade()
+
+    def upgrade(self):
+        return self.ladder.upgrade()
+
+
+class TestPriorityLadder:
+    def make_apps(self):
+        # Paper ordering: speech lowest, then video, map, web highest.
+        return [
+            FakeApp("web", 4),
+            FakeApp("speech", 1),
+            FakeApp("map", 3),
+            FakeApp("video", 2),
+        ]
+
+    def test_degrade_picks_lowest_priority_first(self):
+        ladder = PriorityLadder(self.make_apps())
+        assert ladder.pick_degrade().name == "speech"
+
+    def test_degrade_skips_exhausted_apps(self):
+        apps = self.make_apps()
+        ladder = PriorityLadder(apps)
+        speech = next(a for a in apps if a.name == "speech")
+        while speech.can_degrade():
+            speech.degrade()
+        assert ladder.pick_degrade().name == "video"
+
+    def test_upgrade_picks_highest_priority_first(self):
+        apps = self.make_apps()
+        for app in apps:
+            app.degrade()
+        ladder = PriorityLadder(apps)
+        assert ladder.pick_upgrade().name == "web"
+
+    def test_upgrade_skips_apps_at_top(self):
+        apps = self.make_apps()
+        ladder = PriorityLadder(apps)
+        # Only speech below top.
+        next(a for a in apps if a.name == "speech").degrade()
+        assert ladder.pick_upgrade().name == "speech"
+
+    def test_none_when_nothing_can_adapt(self):
+        apps = [FakeApp("solo", 1, levels=1)]
+        ladder = PriorityLadder(apps)
+        assert ladder.pick_degrade() is None
+        assert ladder.pick_upgrade() is None
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityLadder([FakeApp("a", 1), FakeApp("a", 2)])
+
+    def test_priority_tie_breaks_by_insertion_order(self):
+        apps = [FakeApp("first", 1), FakeApp("second", 1)]
+        ladder = PriorityLadder(apps)
+        assert ladder.pick_degrade().name == "first"
+
+    def test_remove(self):
+        apps = self.make_apps()
+        ladder = PriorityLadder(apps)
+        ladder.remove("speech")
+        assert ladder.pick_degrade().name == "video"

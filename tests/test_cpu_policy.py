@@ -1,0 +1,86 @@
+"""Tests for the CPU idle-policy states (halt vs poll) added for the
+hardware power-management dimension the paper cites (CPU slowing /
+idle halt; Weiser et al., Lorch & Smith)."""
+
+import pytest
+
+from repro.hardware import Cpu, PowerManager, build_machine
+from repro.hardware import thinkpad560x as tp
+from repro.sim import Simulator
+
+
+class TestCpuStates:
+    def test_halt_draws_nothing_extra(self):
+        cpu = Cpu(9.0, poll_extra_watts=0.8)
+        assert cpu.state == Cpu.HALT
+        assert cpu.power == 0.0
+
+    def test_poll_draws_small_extra(self):
+        cpu = Cpu(9.0, poll_extra_watts=0.8)
+        cpu.set_resting_state(Cpu.POLL)
+        assert cpu.power == pytest.approx(0.8)
+
+    def test_busy_draws_full_extra(self):
+        cpu = Cpu(9.0, poll_extra_watts=0.8)
+        cpu.busy()
+        assert cpu.power == pytest.approx(9.0)
+
+    def test_idle_returns_to_resting_state(self):
+        cpu = Cpu(9.0, poll_extra_watts=0.8)
+        cpu.set_resting_state(Cpu.POLL)
+        cpu.busy()
+        cpu.idle()
+        assert cpu.state == Cpu.POLL
+
+    def test_generic_idle_alias_resolves_to_policy(self):
+        cpu = Cpu(9.0, poll_extra_watts=0.8)
+        cpu.set_resting_state(Cpu.POLL)
+        cpu.busy()
+        cpu.set_state("idle")
+        assert cpu.state == Cpu.POLL
+
+    def test_resting_state_change_applies_when_idle(self):
+        cpu = Cpu(9.0, poll_extra_watts=0.8)
+        cpu.set_resting_state(Cpu.POLL)
+        assert cpu.state == Cpu.POLL
+        cpu.set_resting_state(Cpu.HALT)
+        assert cpu.state == Cpu.HALT
+
+    def test_resting_state_change_deferred_while_busy(self):
+        cpu = Cpu(9.0, poll_extra_watts=0.8)
+        cpu.busy()
+        cpu.set_resting_state(Cpu.POLL)
+        assert cpu.state == Cpu.BUSY
+        cpu.idle()
+        assert cpu.state == Cpu.POLL
+
+    def test_invalid_resting_state_rejected(self):
+        with pytest.raises(ValueError):
+            Cpu(9.0).set_resting_state(Cpu.BUSY)
+
+
+class TestPowerManagerCpuPolicy:
+    def test_baseline_polls(self):
+        sim = Simulator()
+        machine = build_machine(sim)
+        PowerManager(machine, enabled=False).apply_initial_states()
+        assert machine["cpu"].state == Cpu.POLL
+        assert machine["cpu"].power == pytest.approx(tp.CPU_POLL_EXTRA_W)
+
+    def test_pm_halts(self):
+        sim = Simulator()
+        machine = build_machine(sim)
+        PowerManager(machine, enabled=True).apply_initial_states()
+        assert machine["cpu"].state == Cpu.HALT
+
+    def test_compute_restores_policy_state(self):
+        sim = Simulator()
+        machine = build_machine(sim)
+        PowerManager(machine, enabled=False).apply_initial_states()
+
+        def burst():
+            yield from machine.compute(1.0, "app")
+
+        sim.spawn(burst())
+        sim.run()
+        assert machine["cpu"].state == Cpu.POLL

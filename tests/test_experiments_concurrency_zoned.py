@@ -1,0 +1,123 @@
+"""Integration tests for the concurrency (Fig 15) and zoned-backlight
+(Fig 18) studies."""
+
+import pytest
+
+from repro.experiments import (
+    measure_composite,
+    measure_map_zoned,
+    measure_video_zoned,
+)
+from repro.workloads import MAPS
+from repro.workloads.videos import VideoClip
+
+
+def fast_clip():
+    return VideoClip("fast", 10.0, 12.0, 16_250)
+
+
+@pytest.fixture(scope="module")
+def concurrency():
+    table = {}
+    for config in ("baseline", "hw-only", "lowest-fidelity"):
+        table[config] = {
+            "alone": measure_composite(config, with_video=False, iterations=1),
+            "concurrent": measure_composite(config, with_video=True, iterations=1),
+        }
+    return table
+
+
+class TestConcurrencyFigure15:
+    def test_concurrency_adds_energy(self, concurrency):
+        for config, pair in concurrency.items():
+            assert pair["concurrent"] > pair["alone"], config
+
+    def test_concurrency_amortizes_background_power(self, concurrency):
+        """The second application adds far less than 100% more energy."""
+        for config, pair in concurrency.items():
+            extra = pair["concurrent"] / pair["alone"] - 1
+            assert extra < 0.75, f"{config}: +{extra:.0%}"
+
+    def test_orderings_hold_under_concurrency(self, concurrency):
+        assert (
+            concurrency["lowest-fidelity"]["concurrent"]
+            < concurrency["hw-only"]["concurrent"]
+            < concurrency["baseline"]["concurrent"]
+        )
+
+    def test_fidelity_savings_survive_concurrency(self, concurrency):
+        saving = 1 - (
+            concurrency["lowest-fidelity"]["concurrent"]
+            / concurrency["hw-only"]["concurrent"]
+        )
+        assert saving > 0.25
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            measure_composite("turbo", with_video=False)
+
+
+class TestZonedFigure18:
+    def test_video_fullfid_zone_occupancy_matches_paper(self):
+        """Full-fidelity video: 1 of 4 zones, 2 of 8 zones (§4.2)."""
+        clip = fast_clip()
+        _e4, lit4 = measure_video_zoned(clip, "hw-only", "4-zones")
+        _e8, lit8 = measure_video_zoned(clip, "hw-only", "8-zones")
+        assert lit4 == 1
+        assert lit8 == 2
+
+    def test_video_lowfid_fits_single_zone_both_grids(self):
+        clip = fast_clip()
+        _e4, lit4 = measure_video_zoned(clip, "combined", "4-zones")
+        _e8, lit8 = measure_video_zoned(clip, "combined", "8-zones")
+        assert lit4 == 1
+        assert lit8 == 1
+
+    def test_map_zone_occupancy_matches_paper(self):
+        """Full map: all 4 / 6 of 8; cropped map: 2 of 4 / 3 of 8."""
+        city = MAPS[1]
+        assert measure_map_zoned(city, "hw-only", "4-zones")[1] == 4
+        assert measure_map_zoned(city, "hw-only", "8-zones")[1] == 6
+        assert measure_map_zoned(city, "crop-secondary", "4-zones")[1] == 2
+        assert measure_map_zoned(city, "crop-secondary", "8-zones")[1] == 3
+
+    def test_zoning_saves_video_energy(self):
+        clip = fast_clip()
+        none = measure_video_zoned(clip, "hw-only", "no-zones")[0]
+        four = measure_video_zoned(clip, "hw-only", "4-zones")[0]
+        eight = measure_video_zoned(clip, "hw-only", "8-zones")[0]
+        assert four < none
+        assert eight <= four + 1e-9
+
+    def test_map_full_fidelity_no_benefit_in_4_zone(self):
+        """Paper: the full map occupies all 4 zones, so no savings."""
+        city = MAPS[1]
+        none = measure_map_zoned(city, "hw-only", "no-zones")[0]
+        four = measure_map_zoned(city, "hw-only", "4-zones")[0]
+        assert four == pytest.approx(none, rel=0.01)
+
+    def test_map_8_zone_benefit_at_full_fidelity(self):
+        city = MAPS[1]
+        none = measure_map_zoned(city, "hw-only", "no-zones")[0]
+        eight = measure_map_zoned(city, "hw-only", "8-zones")[0]
+        assert eight < none
+
+    def test_low_fidelity_enhances_zoned_savings(self):
+        """Paper: lowering fidelity enhances the zoned benefit."""
+        city = MAPS[1]
+
+        def saving(config):
+            none = measure_map_zoned(city, config, "no-zones")[0]
+            four = measure_map_zoned(city, config, "4-zones")[0]
+            return 1 - four / none
+
+        assert saving("crop-secondary") > saving("hw-only")
+
+    def test_video_zoned_saving_band(self):
+        """Paper: video 4-zone full-fidelity savings ~17-18% of baseline
+        energy; band kept loose for the shortened clip."""
+        clip = fast_clip()
+        none = measure_video_zoned(clip, "hw-only", "no-zones")[0]
+        four = measure_video_zoned(clip, "hw-only", "4-zones")[0]
+        saving = 1 - four / none
+        assert 0.10 <= saving <= 0.30

@@ -1,0 +1,205 @@
+"""Integration tests: Section 3 fidelity experiments reproduce the
+paper's orderings and (approximately) its savings bands.
+
+These assert the *shape* of each figure — which configuration wins,
+by roughly what factor — rather than absolute joules, which are model
+outputs.  The full sweeps live in benchmarks/; tests use one object per
+figure to stay fast.
+"""
+
+import pytest
+
+from repro.experiments import (
+    measure_map,
+    measure_speech,
+    measure_video,
+    measure_web,
+)
+from repro.workloads import IMAGES, MAPS, UTTERANCES
+from repro.workloads.videos import VideoClip
+
+
+def fast_clip():
+    """A shortened clip with the measurement clips' bitrate profile."""
+    return VideoClip("fast", 12.0, 12.0, 16_250)
+
+
+@pytest.fixture(scope="module")
+def video_energies():
+    clip = fast_clip()
+    configs = (
+        "baseline", "hw-only", "premiere-b", "premiere-c",
+        "reduced-window", "combined",
+    )
+    return {c: measure_video(clip, c) for c in configs}
+
+
+@pytest.fixture(scope="module")
+def speech_energies():
+    utt = UTTERANCES[1]
+    configs = (
+        "baseline", "hw-only", "reduced", "remote", "hybrid",
+        "remote-reduced", "hybrid-reduced",
+    )
+    return {c: measure_speech(utt, c) for c in configs}
+
+
+@pytest.fixture(scope="module")
+def map_energies():
+    city = MAPS[0]  # San Jose: dense grid, strongest filter effect
+    configs = (
+        "baseline", "hw-only", "minor-filter", "secondary-filter",
+        "cropped", "crop-minor", "crop-secondary",
+    )
+    return {c: measure_map(city, c) for c in configs}
+
+
+@pytest.fixture(scope="module")
+def web_energies():
+    image = IMAGES[0]  # 175 kB: largest, most distillable
+    configs = ("baseline", "hw-only", "jpeg-75", "jpeg-50", "jpeg-25", "jpeg-5")
+    return {c: measure_web(image, c) for c in configs}
+
+
+class TestVideoFigure6:
+    def test_hw_pm_saves_energy(self, video_energies):
+        assert video_energies["hw-only"] < video_energies["baseline"]
+
+    def test_compression_levels_ordered(self, video_energies):
+        assert (
+            video_energies["premiere-c"]
+            < video_energies["premiere-b"]
+            < video_energies["hw-only"]
+        )
+
+    def test_window_reduction_beats_compression(self, video_energies):
+        """Paper: 19-20% (window) vs 16-17% (Premiere-C)."""
+        assert video_energies["reduced-window"] < video_energies["premiere-c"]
+
+    def test_combined_is_lowest(self, video_energies):
+        assert video_energies["combined"] == min(video_energies.values())
+
+    def test_combined_saving_vs_baseline_about_a_third(self, video_energies):
+        saving = 1 - video_energies["combined"] / video_energies["baseline"]
+        assert 0.30 <= saving <= 0.42  # paper: ~35%
+
+    def test_premiere_c_band(self, video_energies):
+        saving = 1 - video_energies["premiere-c"] / video_energies["hw-only"]
+        assert 0.10 <= saving <= 0.20  # paper: 16-17%
+
+
+class TestSpeechFigure8:
+    def test_hw_pm_saving_band(self, speech_energies):
+        saving = 1 - speech_energies["hw-only"] / speech_energies["baseline"]
+        assert 0.30 <= saving <= 0.38  # paper: 33-34%
+
+    def test_reduced_model_band(self, speech_energies):
+        saving = 1 - speech_energies["reduced"] / speech_energies["hw-only"]
+        assert 0.25 <= saving <= 0.46  # paper band
+
+    def test_remote_band(self, speech_energies):
+        saving = 1 - speech_energies["remote"] / speech_energies["hw-only"]
+        assert 0.30 <= saving <= 0.47  # paper: 33-44%
+
+    def test_hybrid_beats_remote(self, speech_energies):
+        """Paper: hybrid offers slightly greater savings than remote."""
+        assert speech_energies["hybrid"] < speech_energies["remote"]
+
+    def test_reduced_fidelity_helps_each_strategy(self, speech_energies):
+        assert speech_energies["remote-reduced"] < speech_energies["remote"]
+        assert speech_energies["hybrid-reduced"] < speech_energies["hybrid"]
+
+    def test_combined_reduction_vs_baseline(self, speech_energies):
+        saving = 1 - speech_energies["hybrid-reduced"] / speech_energies["baseline"]
+        assert 0.65 <= saving <= 0.82  # paper: 69-80%
+
+
+class TestMapFigure10:
+    def test_hw_pm_band(self, map_energies):
+        saving = 1 - map_energies["hw-only"] / map_energies["baseline"]
+        assert 0.09 <= saving <= 0.20  # paper: 9-19%
+
+    def test_aggressive_filter_beats_mild(self, map_energies):
+        assert map_energies["secondary-filter"] < map_energies["minor-filter"]
+
+    def test_filters_and_crop_compose(self, map_energies):
+        assert map_energies["crop-minor"] < map_energies["minor-filter"]
+        assert map_energies["crop-minor"] < map_energies["cropped"]
+
+    def test_lowest_fidelity_is_crop_secondary(self, map_energies):
+        assert map_energies["crop-secondary"] == min(map_energies.values())
+
+    def test_combined_band_vs_hw_only(self, map_energies):
+        saving = 1 - map_energies["crop-secondary"] / map_energies["hw-only"]
+        assert 0.36 <= saving <= 0.66  # paper band
+
+
+class TestWebFigure13:
+    def test_hw_pm_band(self, web_energies):
+        saving = 1 - web_energies["hw-only"] / web_energies["baseline"]
+        assert 0.20 <= saving <= 0.28  # paper: 22-26%
+
+    def test_quality_levels_ordered(self, web_energies):
+        assert (
+            web_energies["jpeg-5"]
+            <= web_energies["jpeg-25"]
+            <= web_energies["jpeg-50"]
+            <= web_energies["jpeg-75"]
+            <= web_energies["hw-only"]
+        )
+
+    def test_fidelity_benefit_is_disappointing(self, web_energies):
+        """Paper's headline: only 4-14% below hardware-only PM."""
+        saving = 1 - web_energies["jpeg-5"] / web_energies["hw-only"]
+        assert 0.0 <= saving <= 0.18
+
+    def test_tiny_image_shows_no_fidelity_benefit(self):
+        tiny = IMAGES[3]  # 110 B
+        full = measure_web(tiny, "hw-only")
+        low = measure_web(tiny, "jpeg-5")
+        assert low == pytest.approx(full, rel=0.02)
+
+
+class TestThinkTimeLinearity:
+    """Figures 11 and 14: energy is linear in think time."""
+
+    @pytest.mark.parametrize("config", ["baseline", "hw-only", "crop-secondary"])
+    def test_map_energy_linear_in_think_time(self, config):
+        from repro.analysis import fit_linear
+
+        times = (0.0, 5.0, 10.0, 20.0)
+        energies = [
+            measure_map(MAPS[1], config, think_time_s=t) for t in times
+        ]
+        fit = fit_linear(times, energies)
+        assert fit.r_squared > 0.999
+        assert fit.slope > 0
+
+    def test_baseline_slope_steeper_than_pm_slope(self):
+        """Figure 11's diverging lines: PM savings scale with think time."""
+        from repro.analysis import fit_linear
+
+        times = (0.0, 5.0, 10.0, 20.0)
+
+        def slope(config):
+            energies = [
+                measure_web(IMAGES[1], config, think_time_s=t) for t in times
+            ]
+            return fit_linear(times, energies).slope
+
+        assert slope("baseline") > slope("hw-only")
+
+    def test_pm_and_lowest_fidelity_slopes_parallel(self):
+        """Figure 11's parallel lines: fidelity saving is think-time
+        independent."""
+        from repro.analysis import fit_linear
+
+        times = (0.0, 5.0, 10.0, 20.0)
+
+        def slope(config):
+            energies = [
+                measure_map(MAPS[0], config, think_time_s=t) for t in times
+            ]
+            return fit_linear(times, energies).slope
+
+        assert slope("hw-only") == pytest.approx(slope("crop-secondary"), rel=0.02)

@@ -1,0 +1,150 @@
+"""Tests for the experiment infrastructure: rig, runner, configs."""
+
+import pytest
+
+from repro.analysis import TrialStats
+from repro.apps import DEFAULT_COSTS
+from repro.core import Upcall, Viceroy
+from repro.experiments import build_rig, run_trials, trial_costs
+from repro.experiments.fidelity_study import (
+    MAP_CONFIGS,
+    SPEECH_CONFIGS,
+    VIDEO_CONFIGS,
+    WEB_CONFIGS,
+)
+from repro.sim import Simulator
+
+
+class TestBuildRig:
+    def test_default_rig_has_all_parts(self):
+        rig = build_rig()
+        assert set(rig.apps) == {"video", "speech", "map", "web"}
+        assert set(rig.wardens) == {"video", "speech", "map", "web"}
+        assert set(rig.servers) == {"video", "janus", "map", "distill"}
+        assert rig.machine.power > 0
+        assert rig.link.bandwidth_bps == 2e6
+
+    def test_paper_priorities_by_default(self):
+        rig = build_rig()
+        priorities = {name: app.priority for name, app in rig.apps.items()}
+        assert priorities["speech"] < priorities["video"]
+        assert priorities["video"] < priorities["map"]
+        assert priorities["map"] < priorities["web"]
+
+    def test_priority_override(self):
+        rig = build_rig(priorities={"speech": 9, "video": 1, "map": 2, "web": 3})
+        assert rig.apps["speech"].priority == 9
+
+    def test_run_until_complete_raises_on_deadlock(self):
+        rig = build_rig()
+
+        def stuck():
+            yield rig.sim.event()  # never triggered
+
+        proc = rig.sim.spawn(stuck())
+        with pytest.raises(RuntimeError):
+            rig.run_until_complete(proc)
+
+    def test_run_until_complete_returns_energy_at_finish(self):
+        rig = build_rig()
+
+        def brief():
+            yield rig.sim.timeout(2.0)
+
+        proc = rig.sim.spawn(brief())
+        energy = rig.run_until_complete(proc)
+        assert energy == pytest.approx(rig.machine.power * 2.0, rel=0.01)
+
+    def test_zoned_rig(self):
+        rig = build_rig(zoned=(2, 4))
+        assert rig.machine["display"].zones == 8
+
+    def test_think_time_applied_to_map_and_web(self):
+        rig = build_rig(think_time_s=7.5)
+        assert rig.apps["map"].think_time.seconds == 7.5
+        assert rig.apps["web"].think_time.seconds == 7.5
+
+
+class TestRunner:
+    def test_trial_zero_is_unperturbed(self):
+        assert trial_costs(0) is DEFAULT_COSTS
+
+    def test_later_trials_perturb_deterministically(self):
+        a = trial_costs(3)
+        b = trial_costs(3)
+        assert a == b
+        assert a != DEFAULT_COSTS
+        assert a.decode_s_per_byte == pytest.approx(
+            DEFAULT_COSTS.decode_s_per_byte, rel=0.05
+        )
+
+    def test_run_trials_returns_stats(self):
+        calls = []
+
+        def experiment(costs):
+            calls.append(costs)
+            return 100.0 + len(calls)
+
+        stats = run_trials(experiment, trials=5)
+        assert isinstance(stats, TrialStats)
+        assert stats.n == 5
+        assert len(calls) == 5
+
+    def test_run_trials_validates_count(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda c: 1.0, trials=0)
+
+
+class TestConfigTables:
+    def test_video_configs_cover_figure6_bars(self):
+        assert set(VIDEO_CONFIGS) == {
+            "baseline", "hw-only", "premiere-b", "premiere-c",
+            "reduced-window", "combined",
+        }
+
+    def test_speech_configs_cover_figure8_bars(self):
+        assert set(SPEECH_CONFIGS) == {
+            "baseline", "hw-only", "reduced", "remote", "hybrid",
+            "remote-reduced", "hybrid-reduced",
+        }
+
+    def test_map_configs_cover_figure10_bars(self):
+        assert set(MAP_CONFIGS) == {
+            "baseline", "hw-only", "minor-filter", "secondary-filter",
+            "cropped", "crop-minor", "crop-secondary",
+        }
+
+    def test_web_configs_cover_figure13_bars(self):
+        assert set(WEB_CONFIGS) == {
+            "baseline", "hw-only", "jpeg-75", "jpeg-50", "jpeg-25", "jpeg-5",
+        }
+
+    def test_only_baselines_disable_power_management(self):
+        for configs in (VIDEO_CONFIGS, MAP_CONFIGS, WEB_CONFIGS):
+            for name, config in configs.items():
+                assert config[0] == (name != "baseline")
+
+
+class TestDynamicPriority:
+    def test_set_priority_changes_degrade_order(self):
+        rig = build_rig()
+        viceroy = Viceroy(rig.sim)
+        for app in rig.apps.values():
+            viceroy.register_application(app)
+        assert viceroy.ladder.pick_degrade().name == "speech"
+        viceroy.set_priority("speech", 100)
+        assert viceroy.ladder.pick_degrade().name == "video"
+
+    def test_set_priority_unknown_app_raises(self):
+        viceroy = Viceroy(Simulator())
+        with pytest.raises(KeyError):
+            viceroy.set_priority("ghost", 1)
+
+
+class TestUpcallRecord:
+    def test_upcall_fields_immutable(self):
+        upcall = Upcall(1.0, "degrade", "video", "premiere-c")
+        assert upcall.time == 1.0
+        assert upcall.kind == "degrade"
+        with pytest.raises(AttributeError):
+            upcall.kind = "upgrade"

@@ -1,0 +1,203 @@
+"""Tests for RPC fault injection, frame dropping, and session traces."""
+
+import pytest
+
+from repro.experiments import build_rig
+from repro.net import Link, NetworkError, RpcChannel, RpcTimeout, Server
+from repro.hardware import build_machine
+from repro.sim import Simulator
+from repro.workloads import SessionTrace, TraceAction, TraceError
+from repro.workloads.videos import VideoClip
+
+
+class TestRpcTimeouts:
+    def make_channel(self, server_speed=1.0, **kwargs):
+        sim = Simulator()
+        machine = build_machine(sim)
+        link = Link(machine, latency=0.0)
+        server = Server("slow", speed=server_speed)
+        return sim, machine, RpcChannel(link, server, **kwargs)
+
+    def test_validation(self):
+        sim, machine, _ = self.make_channel()
+        link = Link(machine, latency=0.0)
+        with pytest.raises(NetworkError):
+            RpcChannel(link, Server("s"), timeout=0.0)
+        with pytest.raises(NetworkError):
+            RpcChannel(link, Server("s"), retries=-1)
+
+    def test_fast_server_completes_within_timeout(self):
+        sim, machine, channel = self.make_channel(timeout=5.0)
+        done = []
+
+        def client():
+            took = yield from channel.call(1000, 1000, work_units=1.0)
+            done.append(took)
+
+        sim.spawn(client())
+        sim.run()
+        assert done and done[0] < 5.0
+        assert channel.timeouts == 0
+
+    def test_slow_server_times_out_and_raises(self):
+        sim, machine, channel = self.make_channel(
+            server_speed=0.1, timeout=2.0
+        )
+
+        def client():
+            yield from channel.call(1000, 1000, work_units=1.0)  # 10 s work
+
+        sim.spawn(client())
+        with pytest.raises(RpcTimeout):
+            sim.run()
+        assert channel.timeouts == 1
+
+    def test_retry_succeeds_after_server_recovers(self):
+        sim, machine, channel = self.make_channel(
+            server_speed=0.1, timeout=2.0, retries=1
+        )
+        # The server recovers while the first attempt is waiting.
+        sim.schedule(1.0, lambda t: channel.server.set_speed(10.0))
+        done = []
+
+        def client():
+            took = yield from channel.call(1000, 1000, work_units=1.0)
+            done.append(took)
+
+        sim.spawn(client())
+        sim.run()
+        assert done, "retry should have succeeded"
+        assert channel.timeouts == 1
+
+    def test_timeout_costs_energy(self):
+        """A timed-out attempt is not free: the client was receive-ready
+        for the whole deadline."""
+        sim, machine, channel = self.make_channel(
+            server_speed=0.01, timeout=3.0, retries=0
+        )
+
+        def client():
+            try:
+                yield from channel.call(1000, 1000, work_units=1.0)
+            except RpcTimeout:
+                pass
+
+        sim.spawn(client())
+        sim.run()
+        machine.advance()
+        assert sim.now >= 3.0
+        assert machine.energy_total > 0
+
+
+class TestFrameDropping:
+    def play_under_contention(self, drop):
+        rig = build_rig(pm_enabled=True)
+        player = rig.apps["video"]
+        player.drop_late_frames = drop
+        clip = VideoClip("contended", 10.0, 12.0, 16_250)
+
+        def hog():
+            # A competing CPU hog: long bursts that starve the decoder.
+            for _ in range(10):
+                yield from rig.machine.compute(0.6, "hog")
+                yield rig.sim.timeout(0.2)
+
+        rig.sim.spawn(hog())
+        proc = rig.sim.spawn(player.play(clip))
+        energy = rig.run_until_complete(proc)
+        return player, energy
+
+    def test_drops_occur_only_when_enabled(self):
+        keep_player, _ = self.play_under_contention(drop=False)
+        drop_player, _ = self.play_under_contention(drop=True)
+        assert keep_player.frames_dropped == 0
+        assert drop_player.frames_dropped > 0
+        played_plus_dropped = (
+            drop_player.frames_played + drop_player.frames_dropped
+        )
+        assert played_plus_dropped == keep_player.frames_played
+
+    def test_dropping_saves_decode_energy(self):
+        _, keep_energy = self.play_under_contention(drop=False)
+        _, drop_energy = self.play_under_contention(drop=True)
+        assert drop_energy < keep_energy
+
+    def test_no_drops_without_contention(self):
+        rig = build_rig(pm_enabled=True)
+        player = rig.apps["video"]
+        player.drop_late_frames = True
+        clip = VideoClip("calm", 5.0, 12.0, 16_250)
+        proc = rig.sim.spawn(player.play(clip))
+        rig.run_until_complete(proc)
+        assert player.frames_dropped == 0
+
+
+TRACE_TEXT = """
+# a short session
+0.0   speech utterance-1
+5.0   web image-3
+18.0  map allentown
+40.0  video video-1 6
+50.0  idle 4
+"""
+
+
+class TestSessionTrace:
+    def test_parse_and_len(self):
+        trace = SessionTrace.parse(TRACE_TEXT)
+        assert len(trace) == 5
+        assert trace.span == 50.0
+
+    def test_parse_rejects_bad_lines(self):
+        with pytest.raises(TraceError):
+            SessionTrace.parse("abc speech utterance-1")
+        with pytest.raises(TraceError):
+            SessionTrace.parse("0.0 teleport somewhere")
+        with pytest.raises(TraceError):
+            SessionTrace.parse("0.0 idle")        # missing duration
+        with pytest.raises(TraceError):
+            SessionTrace.parse("0.0 video clip")  # missing duration
+        with pytest.raises(TraceError):
+            SessionTrace.parse("# only comments\n")
+
+    def test_action_validation(self):
+        with pytest.raises(TraceError):
+            TraceAction(-1.0, "speech", "utterance-1")
+        with pytest.raises(TraceError):
+            TraceAction(0.0, "warp", "x")
+        with pytest.raises(TraceError):
+            TraceAction(0.0, "idle", "", duration=0.0)
+
+    def test_render_round_trips(self):
+        trace = SessionTrace.parse(TRACE_TEXT)
+        again = SessionTrace.parse(trace.render())
+        assert [a.kind for a in again] == [a.kind for a in trace]
+        assert [a.at for a in again] == [a.at for a in trace]
+
+    def test_actions_sorted_by_time(self):
+        trace = SessionTrace([
+            TraceAction(10.0, "web", "image-1"),
+            TraceAction(2.0, "speech", "utterance-1"),
+        ])
+        assert [a.at for a in trace] == [2.0, 10.0]
+
+    def test_replay_drives_all_applications(self):
+        rig = build_rig(pm_enabled=True)
+        trace = SessionTrace.parse(TRACE_TEXT)
+        proc = rig.sim.spawn(trace.replay(rig))
+        rig.run_until_complete(proc)
+        assert rig.apps["speech"].utterances_recognized == 1
+        assert rig.apps["web"].pages_viewed == 1
+        assert rig.apps["map"].maps_viewed == 1
+        assert rig.apps["video"].frames_played == 6 * 12
+        # Replay honors the schedule: ends after the final idle.
+        assert rig.sim.now >= 54.0
+
+    def test_replay_is_deterministic(self):
+        energies = []
+        for _ in range(2):
+            rig = build_rig(pm_enabled=True)
+            trace = SessionTrace.parse(TRACE_TEXT)
+            proc = rig.sim.spawn(trace.replay(rig))
+            energies.append(rig.run_until_complete(proc))
+        assert energies[0] == pytest.approx(energies[1])

@@ -1,0 +1,240 @@
+"""Unit tests for individual hardware power components."""
+
+import pytest
+
+from repro.hardware import (
+    Cpu,
+    Disk,
+    Display,
+    HardwareError,
+    PowerComponent,
+    Rect,
+    WaveLan,
+    ZonedDisplay,
+)
+from repro.hardware import thinkpad560x as tp
+
+
+class TestPowerComponent:
+    def test_initial_state_power(self):
+        comp = PowerComponent("x", {"on": 2.0, "off": 0.0}, "on")
+        assert comp.power == 2.0
+
+    def test_set_state_changes_power(self):
+        comp = PowerComponent("x", {"on": 2.0, "off": 0.0}, "on")
+        comp.set_state("off")
+        assert comp.power == 0.0
+        assert comp.is_off()
+
+    def test_unknown_state_rejected(self):
+        comp = PowerComponent("x", {"on": 2.0}, "on")
+        with pytest.raises(HardwareError):
+            comp.set_state("warp")
+
+    def test_unknown_initial_state_rejected(self):
+        with pytest.raises(HardwareError):
+            PowerComponent("x", {"on": 2.0}, "nope")
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(HardwareError):
+            PowerComponent("x", {"on": -1.0}, "on")
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(HardwareError):
+            PowerComponent("x", {}, "on")
+
+    def test_observer_sees_transition(self):
+        comp = PowerComponent("x", {"a": 1.0, "b": 2.0}, "a")
+        seen = []
+        comp.observe(lambda c, old, new: seen.append((old, new)))
+        comp.set_state("b")
+        comp.set_state("b")  # no-op, no duplicate notification
+        assert seen == [("a", "b")]
+
+    def test_pre_change_hook_runs_before_transition(self):
+        comp = PowerComponent("x", {"a": 1.0, "b": 2.0}, "a")
+        powers = []
+        comp._pre_change = lambda: powers.append(comp.power)
+        comp.set_state("b")
+        assert powers == [1.0]  # integrated at the *old* power
+
+
+class TestCpu:
+    def test_idle_draws_nothing_extra(self):
+        assert Cpu(7.1).power == 0.0
+
+    def test_busy_draws_extra(self):
+        cpu = Cpu(7.1)
+        cpu.busy()
+        assert cpu.power == 7.1
+        cpu.idle()
+        assert cpu.power == 0.0
+
+
+class TestDisplay:
+    def test_figure4_states(self):
+        display = Display(tp.DISPLAY_BRIGHT_W, tp.DISPLAY_DIM_W)
+        assert display.power == pytest.approx(4.54)
+        display.dim()
+        assert display.power == pytest.approx(1.95)
+        display.off()
+        assert display.power == 0.0
+        display.bright()
+        assert display.power == pytest.approx(4.54)
+
+    def test_screen_rect(self):
+        display = Display(4.54, 1.95, width=800, height=600)
+        assert display.screen.area == 800 * 600
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect(0, 0, 10, 5).area == 50
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(HardwareError):
+            Rect(0, 0, -1, 5)
+
+    def test_intersection_positive(self):
+        assert Rect(0, 0, 10, 10).intersects(Rect(5, 5, 10, 10))
+
+    def test_touching_edges_do_not_intersect(self):
+        assert not Rect(0, 0, 10, 10).intersects(Rect(10, 0, 10, 10))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 2, 2).intersects(Rect(50, 50, 2, 2))
+
+
+class TestZonedDisplay:
+    def make(self, rows, cols):
+        return ZonedDisplay(4.0, 2.0, rows, cols, width=800, height=600)
+
+    def test_all_bright_equals_full_panel(self):
+        display = self.make(2, 2)
+        assert display.power == pytest.approx(4.0)
+
+    def test_zone_power_is_area_proportional(self):
+        display = self.make(2, 2)
+        display.set_all_zones(ZonedDisplay.OFF)
+        display.set_zone(0, ZonedDisplay.BRIGHT)
+        assert display.power == pytest.approx(1.0)  # 1/4 of 4.0 W
+
+    def test_mixed_levels_sum(self):
+        display = self.make(2, 2)
+        display.set_all_zones(ZonedDisplay.OFF)
+        display.set_zone(0, ZonedDisplay.BRIGHT)  # 1.0
+        display.set_zone(1, ZonedDisplay.DIM)     # 0.5
+        assert display.power == pytest.approx(1.5)
+
+    def test_master_off_overrides_zones(self):
+        display = self.make(2, 2)
+        display.off()
+        assert display.power == 0.0
+
+    def test_zone_rect_geometry_2x2(self):
+        display = self.make(2, 2)
+        rect = display.zone_rect(3)  # bottom-right
+        assert (rect.x, rect.y, rect.width, rect.height) == (400, 300, 400, 300)
+
+    def test_zones_for_small_window_one_zone(self):
+        display = self.make(2, 2)
+        assert display.zones_for(Rect(0, 0, 300, 200)) == [0]
+
+    def test_zones_for_fullscreen_all_zones(self):
+        display = self.make(2, 4)
+        assert display.zones_for(display.screen) == list(range(8))
+
+    def test_zones_for_straddling_window(self):
+        display = self.make(2, 2)
+        # Centered window touches all four zones.
+        assert display.zones_for(Rect(300, 200, 200, 200)) == [0, 1, 2, 3]
+
+    def test_illuminate_returns_lit_count_and_sets_background(self):
+        display = self.make(2, 4)
+        lit = display.illuminate([Rect(0, 0, 190, 290)], background=ZonedDisplay.OFF)
+        assert lit == 1
+        assert display.power == pytest.approx(4.0 / 8)
+
+    def test_illuminate_multiple_windows(self):
+        display = self.make(2, 2)
+        lit = display.illuminate(
+            [Rect(0, 0, 100, 100), Rect(500, 400, 100, 100)],
+            background=ZonedDisplay.OFF,
+        )
+        assert lit == 2
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(HardwareError):
+            self.make(0, 2)
+
+    def test_invalid_zone_index_rejected(self):
+        display = self.make(2, 2)
+        with pytest.raises(HardwareError):
+            display.set_zone(9, ZonedDisplay.OFF)
+        with pytest.raises(HardwareError):
+            display.zone_rect(-1)
+
+    def test_invalid_zone_level_rejected(self):
+        display = self.make(2, 2)
+        with pytest.raises(HardwareError):
+            display.set_zone(0, "strobe")
+
+
+class TestDisk:
+    def test_figure4_states(self):
+        disk = Disk(tp.DISK_IDLE_W, tp.DISK_STANDBY_W, tp.DISK_ACTIVE_W)
+        assert disk.power == pytest.approx(0.88)
+        disk.standby()
+        assert disk.power == pytest.approx(0.16)
+
+    def test_spin_up_needed_from_standby(self):
+        disk = Disk(0.88, 0.16, 2.1)
+        assert not disk.spin_up_needed()
+        disk.standby()
+        assert disk.spin_up_needed()
+
+
+class TestWaveLan:
+    def make(self):
+        return WaveLan(
+            tp.WAVELAN_IDLE_W,
+            tp.WAVELAN_STANDBY_W,
+            tp.WAVELAN_RECV_W,
+            tp.WAVELAN_XMIT_W,
+        )
+
+    def test_figure4_states(self):
+        nic = self.make()
+        assert nic.power == pytest.approx(1.46)
+        nic.set_resting_state(WaveLan.STANDBY)
+        assert nic.power == pytest.approx(0.18)
+
+    def test_transfer_raises_power_then_returns_to_resting(self):
+        nic = self.make()
+        nic.set_resting_state(WaveLan.STANDBY)
+        nic.begin_transfer(WaveLan.RECV)
+        assert nic.power == pytest.approx(tp.WAVELAN_RECV_W)
+        nic.end_transfer()
+        assert nic.power == pytest.approx(0.18)
+
+    def test_nested_transfers_keep_nic_awake(self):
+        nic = self.make()
+        nic.set_resting_state(WaveLan.STANDBY)
+        nic.begin_transfer(WaveLan.RECV)
+        nic.begin_transfer(WaveLan.XMIT)
+        nic.end_transfer()
+        assert nic.state == WaveLan.XMIT  # still one transfer in flight
+        nic.end_transfer()
+        assert nic.state == WaveLan.STANDBY
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            self.make().end_transfer()
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().begin_transfer("sideways")
+
+    def test_invalid_resting_state_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().set_resting_state(WaveLan.RECV)

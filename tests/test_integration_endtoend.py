@@ -1,0 +1,197 @@
+"""Whole-system integration tests crossing subsystem boundaries."""
+
+import pytest
+
+from repro.core import (
+    DiskCache,
+    ExpectationMonitor,
+    ExpectationRegistry,
+    Odyssey,
+)
+from repro.experiments import build_goal_rig, build_rig
+from repro.experiments.goal_study import _spawn_workload
+from repro.hardware import Battery, ZonedDisplay
+from repro.apps import ZonedWindowManager
+from repro.net import BandwidthEstimator
+from repro.powerscope import Multimeter, SystemMonitor, correlate
+from repro.workloads import MAPS, SessionTrace
+from repro.workloads.videos import VideoClip
+
+
+class TestMultiResourceAdaptation:
+    def test_energy_goal_and_bandwidth_adaptation_together(self):
+        """Both adaptation loops drive the same video player: the
+        bandwidth loop caps the track to what the degraded link can
+        carry while the energy controller still meets its goal."""
+        # Note the slack: degrading the link to 1 Mb/s raises the energy
+        # cost of every fetch (slower transfers at receive power), so
+        # the goal must stay feasible under the *degraded* network.
+        initial_energy = 4_000.0
+        goal_seconds = 255.0
+        rig, odyssey, battery = build_goal_rig(initial_energy)
+        controller = odyssey.set_goal(initial_energy, goal_seconds)
+        _spawn_workload(rig, horizon=500.0)
+
+        player = rig.apps["video"]
+        clip = VideoClip("dual", 60.0, 12.0, 16_250)
+        estimator = BandwidthEstimator(rig.link, gain=0.5)
+        registry = ExpectationRegistry("bandwidth")
+        registry.register(
+            "video",
+            player.bandwidth_window(clip, player.fidelity),
+            player.bandwidth_upcall(clip),
+        )
+        monitor = ExpectationMonitor(
+            rig.sim, registry, lambda: estimator.estimate_bps, period=1.0
+        )
+        monitor.start()
+        odyssey.start()
+        # The link degrades partway through.
+        rig.sim.schedule(60.0, lambda t: rig.link.set_bandwidth(1.0e6))
+        # Sample whether the track fit the link, after every monitor
+        # check from t=70 on (giving the estimator one transfer to see
+        # the new bandwidth).  The energy controller may briefly
+        # upgrade past the cap; the bandwidth loop must re-correct.
+        fits = []
+
+        def sample(_t):
+            fits.append(clip.bitrate_bps(player.track) <= 1.0e6 / 0.8)
+            if rig.sim.now < goal_seconds - 10.0:
+                rig.sim.schedule(5.0, sample)
+
+        rig.sim.schedule(80.0, sample)
+
+        while rig.sim.now < goal_seconds and not battery.exhausted:
+            if not rig.sim.step():
+                break
+        assert not battery.exhausted
+        # The bandwidth loop delivered corrections and kept the track
+        # within the link's capacity the vast majority of the time.
+        assert registry.upcalls_delivered >= 1
+        assert fits and sum(fits) / len(fits) >= 0.8
+
+    def test_powerscope_profiles_goal_directed_run(self):
+        """The offline profiler and the online controller coexist: the
+        profile's total matches the energy the controller accounted."""
+        initial_energy = 3_000.0
+        rig, odyssey, battery = build_goal_rig(initial_energy)
+        controller = odyssey.set_goal(initial_energy, 190.0)
+        _spawn_workload(rig, horizon=400.0)
+        monitor = SystemMonitor(rig.machine)
+        meter = Multimeter(rig.machine, rate_hz=200.0, monitor=monitor)
+        odyssey.start()
+        meter.start()
+        rig.sim.run(until=100.0)
+        meter.stop()
+        rig.machine.advance()
+        profile = correlate(
+            meter.samples, monitor.samples, rig.machine.voltage,
+            period=meter.period,
+        )
+        assert profile.total_energy == pytest.approx(
+            rig.machine.energy_total, rel=0.02
+        )
+        # The controller's belief agrees with the profiler's view.
+        assert controller.supply.consumed == pytest.approx(
+            profile.total_energy, rel=0.05
+        )
+
+
+class TestZonedPlaybackIntegration:
+    def test_window_manager_relights_as_video_adapts(self):
+        rig = build_rig(pm_enabled=True, zoned=(2, 4))
+        display = rig.machine["display"]
+        mgr = ZonedWindowManager(display, peripheral_level=ZonedDisplay.OFF)
+        player = rig.apps["video"]
+        mgr.place("video", player.window_rect(), snap=False)
+        full_power = display.power
+
+        clip = VideoClip("zoned-int", 10.0, 12.0, 16_250)
+        proc = rig.sim.spawn(player.play(clip))
+        # Mid-playback, the energy controller would shrink the window;
+        # simulate the upcall and let the window manager relight.
+        def shrink(_t):
+            player.set_fidelity("combined")
+            mgr.place("video", player.window_rect(), snap=False)
+
+        rig.sim.schedule(5.0, shrink)
+        rig.run_until_complete(proc)
+        assert display.power <= full_power
+        bright, _dim = mgr.zones_lit()
+        assert bright == 1  # the reduced window fits one 2x4 zone
+
+    def test_snap_to_reduces_playback_energy(self):
+        """A straddling video window costs more zones; snap-to pays for
+        itself in display energy over a playback."""
+
+        def play(snap):
+            rig = build_rig(pm_enabled=True, zoned=(2, 2))
+            display = rig.machine["display"]
+            mgr = ZonedWindowManager(
+                display, max_snap=80, peripheral_level=ZonedDisplay.OFF
+            )
+            player = rig.apps["video"]
+            # Straddles all 4 zones, but within snap range of zone 1.
+            player.window_origin = (340, 130)
+            mgr.place("video", player.window_rect(), snap=snap)
+            clip = VideoClip("snap-int", 8.0, 12.0, 16_250)
+            proc = rig.sim.spawn(player.play(clip))
+            return rig.run_until_complete(proc)
+
+        assert play(snap=True) < play(snap=False)
+
+
+class TestCachedTraceReplay:
+    def test_cached_replay_of_repeating_session_saves_energy(self):
+        session = "\n".join(
+            f"{i * 12.0} map {MAPS[0].name}" for i in range(4)
+        )
+
+        def replay(with_cache):
+            rig = build_rig(pm_enabled=True)
+            if with_cache:
+                cache = DiskCache(
+                    rig.machine, 50_000_000,
+                    power_manager=rig.power_manager,
+                )
+                warden = rig.wardens["map"]
+                original = warden.fetch_map
+
+                def cached_fetch(city, fidelity):
+                    nbytes, _hit = yield from cache.fetch_through(
+                        (city.name, fidelity),
+                        lambda: original(city, fidelity),
+                    )
+                    return nbytes
+
+                warden.fetch_map = cached_fetch
+            trace = SessionTrace.parse(session)
+            proc = rig.sim.spawn(trace.replay(rig))
+            return rig.run_until_complete(proc)
+
+        assert replay(with_cache=True) < replay(with_cache=False)
+
+
+class TestGaugeWithNonIdealBattery:
+    def test_coarse_gauge_and_peukert_battery_still_meet_midrange_goal(self):
+        from repro.experiments import (
+            derive_goals,
+            fidelity_runtime_bounds,
+            run_goal_experiment,
+        )
+        from repro.hardware import PeukertBattery
+        from repro.powerscope import SmartBatteryGauge
+
+        energy = 5_000.0
+        t_hi, t_lo = fidelity_runtime_bounds(energy)
+        goal = derive_goals(t_hi, t_lo, count=3)[1]
+        result = run_goal_experiment(
+            goal,
+            initial_energy=energy,
+            supply=PeukertBattery(energy, rated_power_w=14.0, exponent=1.02),
+            monitor_factory=lambda machine: SmartBatteryGauge(
+                machine, period=1.0, resolution_w=0.25
+            ),
+        )
+        # The coarse gauge + battery non-ideality cost at most a sliver.
+        assert result.survived_seconds >= 0.985 * goal

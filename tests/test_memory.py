@@ -1,0 +1,152 @@
+"""Tests for the physical-memory / paging model (paper §3.7 caveat)."""
+
+import pytest
+
+from repro.hardware import Disk, MemoryError_, MemorySystem, build_machine
+from repro.sim import Simulator
+
+
+def make_memory(capacity_mb=64.0, **kwargs):
+    sim = Simulator()
+    machine = build_machine(sim)
+    return sim, machine, MemorySystem(machine, capacity_mb=capacity_mb, **kwargs)
+
+
+class TestWorkingSets:
+    def test_validation(self):
+        sim, machine, memory = make_memory()
+        with pytest.raises(MemoryError_):
+            MemorySystem(machine, capacity_mb=0)
+        with pytest.raises(MemoryError_):
+            memory.declare("app", -1)
+
+    def test_pressure_zero_when_fitting(self):
+        _sim, _machine, memory = make_memory(64)
+        memory.declare("a", 30)
+        memory.declare("b", 30)
+        assert not memory.oversubscribed
+        assert memory.pressure == 0.0
+        assert memory.paging_fraction() == 0.0
+
+    def test_pressure_grows_with_oversubscription(self):
+        _sim, _machine, memory = make_memory(64)
+        memory.declare("a", 48)
+        memory.declare("b", 48)  # 96 MB on 64 -> pressure 0.5
+        assert memory.oversubscribed
+        assert memory.pressure == pytest.approx(0.5)
+        assert memory.paging_fraction() == pytest.approx(0.25)
+
+    def test_release_relieves_pressure(self):
+        _sim, _machine, memory = make_memory(64)
+        memory.declare("a", 48)
+        memory.declare("b", 48)
+        memory.release("b")
+        assert not memory.oversubscribed
+
+    def test_redeclare_updates(self):
+        _sim, _machine, memory = make_memory(64)
+        memory.declare("a", 48)
+        memory.declare("a", 20)
+        assert memory.resident_mb == 20
+
+    def test_paging_fraction_capped(self):
+        _sim, _machine, memory = make_memory(10, fault_fraction_per_pressure=5.0)
+        memory.declare("a", 100)
+        assert memory.paging_fraction() == pytest.approx(0.9)
+
+
+class TestPagedCompute:
+    def test_no_pressure_is_plain_compute(self):
+        sim, machine, memory = make_memory(64)
+        memory.declare("a", 30)
+
+        def burst():
+            yield from memory.compute(2.0, "a")
+
+        proc = sim.spawn(burst())
+        sim.run()
+        machine.advance()
+        assert sim.now == pytest.approx(2.0)
+        assert memory.faults == 0
+
+    def test_pressure_stretches_burst_and_faults(self):
+        sim, machine, memory = make_memory(64)
+        memory.declare("a", 48)
+        memory.declare("b", 48)  # paging fraction 0.25
+
+        def burst():
+            yield from memory.compute(3.0, "a")
+
+        proc = sim.spawn(burst())
+        sim.run()
+        assert memory.faults > 0
+        # 3 s of compute at 25% paging -> ~4 s wall (+ disk transfer
+        # granularity).
+        assert sim.now == pytest.approx(4.0, rel=0.1)
+
+    def test_fault_energy_attributed_to_kernel(self):
+        sim, machine, memory = make_memory(64)
+        memory.declare("a", 60)
+        memory.declare("b", 60)
+
+        def burst():
+            yield from memory.compute(2.0, "a")
+
+        sim.spawn(burst())
+        sim.run()
+        report = machine.energy_report()
+        assert report.get("kernel", 0) > 0
+
+    def test_paging_keeps_disk_busy(self):
+        sim, machine, memory = make_memory(64)
+        machine["disk"].standby()
+        memory.declare("a", 60)
+        memory.declare("b", 60)
+
+        def burst():
+            yield from memory.compute(1.0, "a")
+
+        sim.spawn(burst())
+        sim.run()
+        # The disk had to spin up to service faults.
+        assert machine["disk"].state == Disk.IDLE
+        assert memory.faults > 0
+
+    def test_concurrency_can_increase_energy_per_work(self):
+        """The paper's §3.7 caveat, made measurable: two apps whose
+        working sets fit individually but not together consume more
+        energy running concurrently than sequentially."""
+
+        def sequential():
+            sim, machine, memory = make_memory(64)
+
+            def session():
+                memory.declare("a", 40)
+                yield from memory.compute(3.0, "a")
+                memory.release("a")
+                memory.declare("b", 40)
+                yield from memory.compute(3.0, "b")
+                memory.release("b")
+
+            proc = sim.spawn(session())
+            while proc.alive:
+                sim.step()
+            machine.advance()
+            return machine.energy_total
+
+        def concurrent():
+            sim, machine, memory = make_memory(64)
+            memory.declare("a", 40)
+            memory.declare("b", 40)  # 80 MB on 64: thrashing
+
+            def worker(tag):
+                yield from memory.compute(3.0, tag)
+
+            pa = sim.spawn(worker("a"))
+            pb = sim.spawn(worker("b"))
+            while pa.alive or pb.alive:
+                sim.step()
+            machine.advance()
+            return machine.energy_total
+
+        assert concurrent() > sequential()

@@ -1,0 +1,190 @@
+"""Tests for the network substrate (link, RPC, servers)."""
+
+import pytest
+
+from repro.hardware import WaveLan, build_machine
+from repro.net import INTERRUPT_PROCESS, Link, NetworkError, RpcChannel, Server
+from repro.sim import Simulator
+
+
+def make_link(sim, **kwargs):
+    machine = build_machine(sim)
+    return machine, Link(machine, **kwargs)
+
+
+class TestLink:
+    def test_transfer_time_scales_with_bytes(self):
+        sim = Simulator()
+        _machine, link = make_link(sim, bandwidth_bps=2e6, latency=0.0)
+        # 250 kB at 2 Mb/s = 1 second
+        assert link.transfer_time(250_000) == pytest.approx(1.0)
+
+    def test_latency_added_once_per_transfer(self):
+        sim = Simulator()
+        _machine, link = make_link(sim, bandwidth_bps=2e6, latency=0.05)
+        assert link.transfer_time(0) == pytest.approx(0.05)
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        machine = build_machine(sim)
+        with pytest.raises(NetworkError):
+            Link(machine, bandwidth_bps=0)
+        with pytest.raises(NetworkError):
+            Link(machine, latency=-1)
+        with pytest.raises(NetworkError):
+            Link(machine, interrupt_fraction=2.0)
+
+    def test_negative_bytes_rejected(self):
+        sim = Simulator()
+        _machine, link = make_link(sim)
+
+        def bad():
+            yield from link.recv(-1)
+
+        sim.spawn(bad())
+        with pytest.raises(NetworkError):
+            sim.run()
+
+    def test_invalid_direction_rejected(self):
+        sim = Simulator()
+        _machine, link = make_link(sim)
+
+        def bad():
+            yield from link.transfer(10, "sideways")
+
+        sim.spawn(bad())
+        with pytest.raises(NetworkError):
+            sim.run()
+
+    def test_transfer_wakes_nic_and_returns_to_resting(self):
+        sim = Simulator()
+        machine, link = make_link(sim, latency=0.0)
+        machine["wavelan"].set_resting_state(WaveLan.STANDBY)
+        states = []
+
+        def app():
+            yield from link.recv(250_000)
+            states.append(machine["wavelan"].state)
+
+        sim.spawn(app())
+        sim.schedule(0.5, lambda t: states.append(machine["wavelan"].state))
+        sim.run()
+        assert states == [WaveLan.RECV, WaveLan.STANDBY]
+
+    def test_transfers_serialize_fifo(self):
+        sim = Simulator()
+        _machine, link = make_link(sim, bandwidth_bps=2e6, latency=0.0)
+        done = []
+
+        def fetch(tag):
+            yield from link.recv(250_000)  # 1 s each
+            done.append((tag, sim.now))
+
+        sim.spawn(fetch("a"))
+        sim.spawn(fetch("b"))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_interrupt_energy_attributed_during_transfer(self):
+        sim = Simulator()
+        machine, link = make_link(sim, latency=0.0, interrupt_fraction=0.25)
+
+        def app():
+            yield from link.recv(250_000)
+
+        sim.spawn(app())
+        sim.run()
+        report = machine.energy_report()
+        assert report[INTERRUPT_PROCESS] > 0
+        # 25% of the machine energy during the 1 s transfer window.
+        assert report[INTERRUPT_PROCESS] == pytest.approx(
+            0.25 * machine.energy_total, rel=0.01
+        )
+
+    def test_counters_track_traffic(self):
+        sim = Simulator()
+        _machine, link = make_link(sim, latency=0.0)
+
+        def app():
+            yield from link.recv(1000)
+            yield from link.xmit(500)
+
+        sim.spawn(app())
+        sim.run()
+        assert link.bytes_transferred == 1500
+        assert link.transfer_count == 2
+
+
+class TestServer:
+    def test_service_time_scales_with_speed(self):
+        assert Server("janus", speed=2.0).service_time(4.0) == pytest.approx(2.0)
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Server("x", speed=0.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Server("x").service_time(-1.0)
+
+    def test_serve_advances_time_and_counters(self):
+        sim = Simulator()
+        server = Server("janus", speed=1.0)
+
+        def client():
+            yield from server.serve(sim, 3.0)
+
+        sim.spawn(client())
+        sim.run()
+        assert sim.now == pytest.approx(3.0)
+        assert server.requests_served == 1
+        assert server.busy_seconds == pytest.approx(3.0)
+
+
+class TestRpc:
+    def test_call_round_trip_time(self):
+        sim = Simulator()
+        machine, link = make_link(sim, bandwidth_bps=2e6, latency=0.0)
+        server = Server("janus", speed=1.0)
+        channel = RpcChannel(link, server)
+        elapsed = []
+
+        def client():
+            took = yield from channel.call(250_000, 250_000, work_units=2.0)
+            elapsed.append(took)
+
+        sim.spawn(client())
+        sim.run()
+        # 1 s xmit + 2 s server + 1 s recv
+        assert elapsed == [pytest.approx(4.0)]
+        assert channel.calls == 1
+
+    def test_nic_receive_ready_while_waiting_for_reply(self):
+        sim = Simulator()
+        machine, link = make_link(sim, bandwidth_bps=2e6, latency=0.0)
+        machine["wavelan"].set_resting_state(WaveLan.STANDBY)
+        server = Server("janus", speed=1.0)
+        channel = RpcChannel(link, server)
+        observed = []
+
+        def client():
+            yield from channel.call(250_000, 250_000, work_units=2.0)
+
+        # At t=2.0 the request (1 s) is done and the server is computing.
+        sim.schedule(2.0, lambda t: observed.append(machine["wavelan"].state))
+        sim.spawn(client())
+        sim.run()
+        assert observed == [WaveLan.RECV]
+        assert machine["wavelan"].state == WaveLan.STANDBY
+
+    def test_zero_work_call_skips_server_wait(self):
+        sim = Simulator()
+        machine, link = make_link(sim, bandwidth_bps=2e6, latency=0.0)
+        channel = RpcChannel(link, Server("echo"))
+
+        def client():
+            yield from channel.call(250_000, 250_000)
+
+        sim.spawn(client())
+        sim.run()
+        assert sim.now == pytest.approx(2.0)

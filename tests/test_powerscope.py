@@ -1,0 +1,284 @@
+"""Tests for the PowerScope energy profiler."""
+
+import pytest
+
+from repro.hardware import ExternalSupply, Machine, PowerComponent, build_machine
+from repro.powerscope import (
+    CorrelationError,
+    CurrentSample,
+    EnergyProfile,
+    Multimeter,
+    OnlinePowerMonitor,
+    PcPidSample,
+    SystemMonitor,
+    correlate,
+    profile_run,
+    render_profile,
+)
+from repro.sim import Simulator
+
+
+def flat_machine(sim, watts=8.0, voltage=16.0):
+    machine = Machine(sim, ExternalSupply(), voltage=voltage)
+    machine.attach(PowerComponent("base", {"on": watts}, "on"))
+    return machine
+
+
+class TestMultimeter:
+    def test_samples_at_configured_rate(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        meter = Multimeter(machine, rate_hz=10.0)
+        meter.start()
+        sim.run(until=1.0)
+        assert meter.sample_count == 10
+
+    def test_sample_value_is_machine_current(self):
+        sim = Simulator()
+        machine = flat_machine(sim, watts=8.0, voltage=16.0)
+        meter = Multimeter(machine, rate_hz=10.0)
+        meter.start()
+        sim.run(until=0.5)
+        assert all(s.amps == pytest.approx(0.5) for s in meter.samples)
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        meter = Multimeter(machine, rate_hz=10.0)
+        meter.start()
+        sim.run(until=0.5)
+        meter.stop()
+        sim.run(until=2.0)
+        assert meter.sample_count == 5
+
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        with pytest.raises(ValueError):
+            Multimeter(machine, rate_hz=0.0)
+
+    def test_double_start_is_idempotent(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        meter = Multimeter(machine, rate_hz=10.0)
+        meter.start()
+        meter.start()
+        sim.run(until=1.0)
+        assert meter.sample_count == 10
+
+    def test_trigger_drives_system_monitor(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        monitor = SystemMonitor(machine)
+        meter = Multimeter(machine, rate_hz=10.0, monitor=monitor)
+        meter.start()
+        sim.run(until=1.0)
+        assert len(monitor.samples) == meter.sample_count
+        assert all(
+            c.time == p.time for c, p in zip(meter.samples, monitor.samples)
+        )
+
+
+class TestSystemMonitor:
+    def test_samples_current_context(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        monitor = SystemMonitor(machine)
+        token = machine.push_context("xanim", "_decode")
+        sample = monitor.sample()
+        machine.pop_context(token)
+        assert sample.process == "xanim"
+        assert sample.procedure == "_decode"
+
+    def test_idle_context_by_default(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        assert SystemMonitor(machine).sample().process == "Idle"
+
+    def test_overlay_sampled_statistically(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        machine.add_overlay(0.5, "Interrupts-WaveLAN")
+        monitor = SystemMonitor(machine, seed=7)
+        hits = sum(
+            1 for _ in range(2000)
+            if monitor.sample().process == "Interrupts-WaveLAN"
+        )
+        assert 0.45 < hits / 2000 < 0.55
+
+
+class TestCorrelate:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CorrelationError):
+            correlate([CurrentSample(0.0, 1.0)], [], voltage=16.0)
+
+    def test_empty_sequences_yield_empty_profile(self):
+        profile = correlate([], [], voltage=16.0)
+        assert profile.total_energy == 0.0
+        assert profile.sample_count == 0
+
+    def test_single_sample_requires_explicit_period(self):
+        current = [CurrentSample(0.1, 0.5)]
+        pcpid = [PcPidSample(0.1, "a", "m")]
+        with pytest.raises(CorrelationError):
+            correlate(current, pcpid, voltage=16.0)
+        profile = correlate(current, pcpid, voltage=16.0, period=0.1)
+        assert profile.total_energy == pytest.approx(16.0 * 0.5 * 0.1)
+
+    def test_energy_is_v_times_i_times_dt(self):
+        period = 0.1
+        current = [CurrentSample(i * period, 0.5) for i in range(1, 11)]
+        pcpid = [PcPidSample(i * period, "app", "m") for i in range(1, 11)]
+        profile = correlate(current, pcpid, voltage=16.0)
+        assert profile.total_energy == pytest.approx(16.0 * 0.5 * 1.0)
+        assert profile.energy_of("app") == pytest.approx(8.0)
+
+    def test_desynchronized_sequences_rejected(self):
+        current = [CurrentSample(0.1, 0.5), CurrentSample(0.2, 0.5)]
+        pcpid = [PcPidSample(0.1, "a", "m"), PcPidSample(0.9, "a", "m")]
+        with pytest.raises(CorrelationError):
+            correlate(current, pcpid, voltage=16.0, period=0.1)
+
+    def test_per_procedure_detail(self):
+        period = 0.1
+        current = [CurrentSample(i * period, 1.0) for i in range(1, 5)]
+        pcpid = [
+            PcPidSample(0.1, "app", "f"),
+            PcPidSample(0.2, "app", "f"),
+            PcPidSample(0.3, "app", "g"),
+            PcPidSample(0.4, "other", "h"),
+        ]
+        profile = correlate(current, pcpid, voltage=10.0)
+        procs = {e.name: e for e in profile.sorted_procedures("app")}
+        assert procs["f"].energy_joules == pytest.approx(2.0)
+        assert procs["g"].energy_joules == pytest.approx(1.0)
+        assert profile.energy_of("other") == pytest.approx(1.0)
+
+
+class TestEnergyProfile:
+    def test_average_power(self):
+        profile = EnergyProfile()
+        profile.record("app", "m", seconds=2.0, joules=10.0)
+        assert profile.processes["app"].average_power == pytest.approx(5.0)
+
+    def test_average_power_zero_time(self):
+        profile = EnergyProfile()
+        profile.record("app", "m", seconds=0.0, joules=0.0)
+        assert profile.processes["app"].average_power == 0.0
+
+    def test_fraction_of(self):
+        profile = EnergyProfile()
+        profile.record("a", "m", 1.0, 30.0)
+        profile.record("b", "m", 1.0, 10.0)
+        assert profile.fraction_of("a") == pytest.approx(0.75)
+        assert profile.fraction_of("ghost") == 0.0
+
+    def test_sorted_processes_highest_energy_first(self):
+        profile = EnergyProfile()
+        profile.record("small", "m", 1.0, 1.0)
+        profile.record("big", "m", 1.0, 100.0)
+        assert [e.name for e in profile.sorted_processes()] == ["big", "small"]
+
+
+class TestProfileAccuracy:
+    """Statistical sampling must converge to the machine's ground truth."""
+
+    def test_sampled_energy_matches_integrated_energy(self):
+        sim = Simulator()
+        machine = build_machine(sim)
+
+        def app():
+            yield from machine.compute(3.0, "worker", "crunch")
+            yield sim.timeout(2.0)
+            yield from machine.compute(1.0, "worker", "crunch")
+
+        sim.spawn(app())
+        profile = profile_run(machine, until=10.0, rate_hz=600.0)
+        assert profile.total_energy == pytest.approx(
+            machine.energy_total, rel=0.01
+        )
+
+    def test_sampled_attribution_matches_ground_truth(self):
+        sim = Simulator()
+        machine = build_machine(sim)
+
+        def app():
+            yield from machine.compute(4.0, "worker", "crunch")
+
+        sim.spawn(app())
+        profile = profile_run(machine, until=10.0, rate_hz=600.0)
+        truth = machine.energy_report()
+        assert profile.energy_of("worker") == pytest.approx(
+            truth["worker"], rel=0.02
+        )
+        assert profile.energy_of("Idle") == pytest.approx(truth["Idle"], rel=0.02)
+
+
+class TestReport:
+    def test_report_contains_processes_and_total(self):
+        profile = EnergyProfile()
+        profile.record("xanim", "_DecodeFrame", 10.0, 120.0)
+        profile.record("X", "_Dispatch", 5.0, 50.0)
+        profile.elapsed = 20.0
+        text = render_profile(profile, detail_process="xanim")
+        assert "xanim" in text
+        assert "Total" in text
+        assert "_DecodeFrame" in text
+        assert "Energy Usage Detail" in text
+
+    def test_report_orders_by_energy(self):
+        profile = EnergyProfile()
+        profile.record("minor", "m", 1.0, 5.0)
+        profile.record("major", "m", 1.0, 500.0)
+        profile.elapsed = 2.0
+        text = render_profile(profile)
+        assert text.index("major") < text.index("minor")
+
+
+class TestOnlineMonitor:
+    def test_subscribers_receive_periodic_samples(self):
+        sim = Simulator()
+        machine = flat_machine(sim, watts=8.0)
+        monitor = OnlinePowerMonitor(machine, period=0.1)
+        got = []
+        monitor.subscribe(lambda t, w, dt: got.append((t, w, dt)))
+        monitor.start()
+        sim.run(until=1.0)
+        assert len(got) == 10
+        times, watts, dts = zip(*got)
+        assert watts[0] == pytest.approx(8.0)
+        assert all(dt == pytest.approx(0.1) for dt in dts)
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        with pytest.raises(ValueError):
+            OnlinePowerMonitor(machine, period=0.0)
+
+    def test_stop_halts_feed(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        monitor = OnlinePowerMonitor(machine, period=0.1)
+        got = []
+        monitor.subscribe(lambda t, w, dt: got.append(t))
+        monitor.start()
+        sim.run(until=0.5)
+        monitor.stop()
+        sim.run(until=1.0)
+        assert len(got) == 5
+
+    def test_residual_energy_accounting_from_samples(self):
+        """Integrating sampled power reproduces drained energy (§5.1.1)."""
+        sim = Simulator()
+        machine = flat_machine(sim, watts=8.0)
+        monitor = OnlinePowerMonitor(machine, period=0.1)
+        account = {"residual": 100.0}
+
+        def on_sample(_t, watts, dt):
+            account["residual"] -= watts * dt
+
+        monitor.subscribe(on_sample)
+        monitor.start()
+        sim.run(until=5.0)
+        machine.advance()
+        assert account["residual"] == pytest.approx(100.0 - machine.energy_total)

@@ -1,0 +1,82 @@
+"""Tests for energy-profile comparison."""
+
+import pytest
+
+from repro.powerscope import EnergyProfile, diff_profiles, render_diff
+
+
+def make_profile(entries):
+    profile = EnergyProfile()
+    for process, joules in entries.items():
+        profile.record(process, "main", seconds=1.0, joules=joules)
+    profile.elapsed = 10.0
+    return profile
+
+
+class TestDiffProfiles:
+    def test_deltas_computed_per_process(self):
+        before = make_profile({"xanim": 100.0, "X": 50.0})
+        after = make_profile({"xanim": 60.0, "X": 50.0})
+        deltas = {d.process: d for d in diff_profiles(before, after)}
+        assert deltas["xanim"].delta_joules == pytest.approx(-40.0)
+        assert deltas["xanim"].relative == pytest.approx(-0.4)
+        assert deltas["X"].delta_joules == pytest.approx(0.0)
+
+    def test_sorted_by_absolute_change(self):
+        before = make_profile({"a": 100.0, "b": 10.0, "c": 50.0})
+        after = make_profile({"a": 95.0, "b": 40.0, "c": 50.0})
+        order = [d.process for d in diff_profiles(before, after)]
+        assert order[0] == "b"  # +30 beats -5
+
+    def test_new_process_has_no_relative(self):
+        before = make_profile({"a": 10.0})
+        after = make_profile({"a": 10.0, "newcomer": 5.0})
+        deltas = {d.process: d for d in diff_profiles(before, after)}
+        assert deltas["newcomer"].relative is None
+        assert deltas["newcomer"].delta_joules == pytest.approx(5.0)
+
+    def test_vanished_process_delta_negative(self):
+        before = make_profile({"a": 10.0, "gone": 7.0})
+        after = make_profile({"a": 10.0})
+        deltas = {d.process: d for d in diff_profiles(before, after)}
+        assert deltas["gone"].delta_joules == pytest.approx(-7.0)
+
+
+class TestRenderDiff:
+    def test_render_contains_totals_and_processes(self):
+        before = make_profile({"xanim": 100.0})
+        after = make_profile({"xanim": 60.0})
+        text = render_diff(before, after)
+        assert "xanim" in text
+        assert "Total" in text
+        assert "-40" in text.replace(" ", "") or "-40.0" in text
+
+    def test_render_marks_new_processes(self):
+        before = make_profile({"a": 10.0})
+        after = make_profile({"a": 10.0, "fresh": 3.0})
+        assert "new" in render_diff(before, after)
+
+
+class TestEndToEndDiff:
+    def test_fidelity_reduction_shows_in_diff(self):
+        """Profile baseline vs combined video and confirm the diff
+        points at Xanim (decode) and X (window area) — exactly the
+        attribution story of the paper's Figure 6."""
+        from repro.experiments import build_rig
+        from repro.powerscope import profile_run
+        from repro.workloads.videos import VideoClip
+
+        def profiled(level):
+            rig = build_rig(pm_enabled=True)
+            player = rig.apps["video"]
+            player.set_fidelity(level)
+            clip = VideoClip("diff-clip", 10.0, 12.0, 16_250)
+            rig.sim.spawn(player.play(clip))
+            return profile_run(rig.machine, until=10.0)
+
+        before = profiled("baseline")
+        after = profiled("combined")
+        deltas = {d.process: d for d in diff_profiles(before, after)}
+        assert deltas["xanim"].delta_joules < 0
+        assert deltas["X"].delta_joules < 0
+        assert after.total_energy < before.total_energy

@@ -1,0 +1,353 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: energy conservation, ladder bounds, smoothing behavior,
+trigger monotonicity, zone geometry, and event ordering."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fit_linear, normalize_to_baseline, summarize
+from repro.core import (
+    AdaptationTrigger,
+    DemandPredictor,
+    EnergySupply,
+    FidelityLadder,
+    alpha_for_halflife,
+)
+from repro.hardware import ExternalSupply, Machine, PowerComponent, Rect, ZonedDisplay
+from repro.sim import Simulator
+
+# ----------------------------------------------------------------------
+# simulator
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda t: fired.append(t))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=20
+    )
+)
+def test_sequential_timeouts_accumulate_exactly(durations):
+    sim = Simulator()
+    done = []
+
+    def proc():
+        for d in durations:
+            yield sim.timeout(d)
+        done.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert done and math.isclose(done[0], sum(durations), rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# fidelity ladder
+# ----------------------------------------------------------------------
+
+
+@given(
+    levels=st.integers(min_value=1, max_value=10),
+    walk=st.lists(st.booleans(), max_size=100),
+)
+def test_ladder_walk_invariants(levels, walk):
+    ladder = FidelityLadder("x", [f"l{i}" for i in range(levels)])
+    transitions = 0
+    for step_up in walk:
+        if step_up and not ladder.at_top:
+            ladder.upgrade()
+            transitions += 1
+        elif not step_up and not ladder.at_bottom:
+            ladder.degrade()
+            transitions += 1
+        assert 0 <= ladder.index < levels
+        assert 0.0 <= ladder.normalized() <= 1.0
+        assert ladder.current == ladder.levels[ladder.index]
+    assert ladder.transitions == transitions
+
+
+# ----------------------------------------------------------------------
+# energy integration and attribution
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=50.0),  # segment duration
+            st.floats(min_value=0.0, max_value=30.0),   # power level
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_piecewise_constant_integration_is_exact(segments):
+    sim = Simulator()
+    machine = Machine(sim, ExternalSupply())
+    states = {f"s{i}": watts for i, (_d, watts) in enumerate(segments)}
+    states["start"] = segments[0][1]
+    comp = machine.attach(PowerComponent("load", states, "start"))
+    expected = 0.0
+    for i, (duration, watts) in enumerate(segments):
+        comp.set_state(f"s{i}")
+        sim.run(until=sim.now + duration)
+        expected += watts * duration
+    machine.advance()
+    assert math.isclose(machine.energy_total, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c", None]),     # context process
+            st.floats(min_value=0.01, max_value=10.0),  # duration
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_attribution_conserves_energy(timeline):
+    sim = Simulator()
+    machine = Machine(sim, ExternalSupply())
+    machine.attach(PowerComponent("load", {"on": 7.0}, "on"))
+    for process, duration in timeline:
+        token = None
+        if process is not None:
+            token = machine.push_context(process, "proc")
+        sim.run(until=sim.now + duration)
+        if token is not None:
+            machine.pop_context(token)
+    report = machine.energy_report()
+    assert math.isclose(
+        sum(report.values()), machine.energy_total, rel_tol=1e-9
+    )
+    # Procedure-level detail also sums to the total.
+    assert math.isclose(
+        sum(machine.energy_by_procedure.values()),
+        machine.energy_total,
+        rel_tol=1e-9,
+    )
+
+
+@given(
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    duration=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_overlay_split_is_exact(fraction, duration):
+    sim = Simulator()
+    machine = Machine(sim, ExternalSupply())
+    machine.attach(PowerComponent("load", {"on": 4.0}, "on"))
+    machine.add_overlay(fraction, "interrupts")
+    sim.run(until=duration)
+    report = machine.energy_report()
+    total = machine.energy_total
+    assert math.isclose(
+        report.get("interrupts", 0.0), total * fraction, rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# supply / demand / trigger
+# ----------------------------------------------------------------------
+
+
+@given(
+    initial=st.floats(min_value=1.0, max_value=1e6),
+    samples=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        max_size=50,
+    ),
+)
+def test_supply_residual_accounting(initial, samples):
+    supply = EnergySupply(initial)
+    consumed = 0.0
+    for watts, dt in samples:
+        supply.on_sample(0.0, watts, dt)
+        consumed += watts * dt
+    assert math.isclose(supply.residual, initial - consumed, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(
+    halflife=st.floats(min_value=0.001, max_value=1e5),
+    dt=st.floats(min_value=0.001, max_value=100.0),
+)
+def test_alpha_bounds_and_halving(halflife, dt):
+    alpha = alpha_for_halflife(halflife, dt)
+    assert 0.0 <= alpha < 1.0
+    # After one half-life of samples the old weight is exactly halved
+    # (checked where 0.5**(dt/halflife) is numerically representable).
+    steps = halflife / dt
+    if alpha > 0.0:
+        assert math.isclose(alpha**steps, 0.5, rel_tol=1e-6)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=200)
+)
+def test_smoothed_estimate_stays_within_sample_range(samples):
+    predictor = DemandPredictor(halflife_fraction=0.10)
+    for watts in samples:
+        predictor.update(watts, dt=0.1, time_remaining=500.0)
+    assert min(samples) - 1e-9 <= predictor.smoothed_watts <= max(samples) + 1e-9
+
+
+@given(
+    initial=st.floats(min_value=1.0, max_value=1e6),
+    residual=st.floats(min_value=0.0, max_value=1e6),
+    demand=st.floats(min_value=0.0, max_value=1e6),
+)
+def test_trigger_decisions_are_consistent(initial, residual, demand):
+    trigger = AdaptationTrigger(initial)
+    decision = trigger.decide(demand, residual)
+    if demand > residual:
+        assert decision == "degrade"
+    else:
+        assert decision in ("upgrade", "hold")
+        if decision == "upgrade":
+            # Upgrades require clearing the full hysteresis margin.
+            assert residual - demand > trigger.upgrade_margin(residual)
+
+
+@given(
+    initial=st.floats(min_value=1.0, max_value=1e5),
+    residual=st.floats(min_value=0.0, max_value=1e5),
+    demand=st.floats(min_value=0.0, max_value=1e5),
+    less=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_trigger_upgrade_monotone_in_demand(initial, residual, demand, less):
+    """If demand d allows an upgrade, any smaller demand does too."""
+    trigger = AdaptationTrigger(initial)
+    if trigger.decide(demand, residual) == "upgrade":
+        assert trigger.decide(demand * less, residual) == "upgrade"
+
+
+# ----------------------------------------------------------------------
+# zone geometry
+# ----------------------------------------------------------------------
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    x=st.floats(min_value=0, max_value=799),
+    y=st.floats(min_value=0, max_value=599),
+    w=st.floats(min_value=1, max_value=800),
+    h=st.floats(min_value=1, max_value=600),
+)
+def test_zone_occupancy_properties(rows, cols, x, y, w, h):
+    display = ZonedDisplay(4.0, 2.0, rows, cols, width=800, height=600)
+    rect = Rect(x, y, min(w, 800 - x), min(h, 600 - y))
+    if rect.area == 0:
+        return
+    zones = display.zones_for(rect)
+    # A window on screen always touches at least one zone.
+    assert zones
+    # Zone indices are valid and unique.
+    assert len(set(zones)) == len(zones)
+    assert all(0 <= z < rows * cols for z in zones)
+    # Lighting only those zones never draws more than the full panel.
+    lit = display.illuminate([rect], background=ZonedDisplay.OFF)
+    assert lit == len(zones)
+    assert display.power <= 4.0 + 1e-9
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+)
+def test_zone_rects_tile_the_screen(rows, cols):
+    display = ZonedDisplay(4.0, 2.0, rows, cols, width=800, height=600)
+    total_area = sum(display.zone_rect(i).area for i in range(rows * cols))
+    assert math.isclose(total_area, 800 * 600, rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# analysis helpers
+# ----------------------------------------------------------------------
+
+
+@given(
+    slope=st.floats(min_value=-100, max_value=100),
+    intercept=st.floats(min_value=-1000, max_value=1000),
+)
+def test_linear_fit_recovers_exact_line(slope, intercept):
+    xs = [0.0, 5.0, 10.0, 20.0]
+    ys = [intercept + slope * x for x in xs]
+    fit = fit_linear(xs, ys)
+    assert math.isclose(fit.slope, slope, rel_tol=1e-6, abs_tol=1e-6)
+    assert math.isclose(fit.intercept, intercept, rel_tol=1e-6, abs_tol=1e-6)
+    assert fit.r_squared > 0.999999 or math.isclose(slope, 0.0, abs_tol=1e-9)
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["o1", "o2", "o3"]),
+        st.floats(min_value=1.0, max_value=1e4),
+        min_size=1,
+    )
+)
+def test_normalization_baseline_is_unity(baseline_row):
+    table = {"baseline": baseline_row,
+             "other": {k: v * 0.5 for k, v in baseline_row.items()}}
+    normalized = normalize_to_baseline(table)
+    for value in normalized["baseline"].values():
+        assert math.isclose(value, 1.0, rel_tol=1e-9)
+    for value in normalized["other"].values():
+        assert math.isclose(value, 0.5, rel_tol=1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=30)
+)
+def test_summarize_mean_within_bounds(values):
+    stats = summarize(values)
+    assert min(values) - 1e-6 <= stats.mean <= max(values) + 1e-6
+    assert stats.ci90 >= 0.0
+    assert stats.n == len(values)
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=5.0),
+            st.integers(min_value=0, max_value=2),
+        ),
+        min_size=2,
+        max_size=10,
+    )
+)
+def test_resource_serves_fifo_under_random_load(jobs):
+    from repro.sim import Resource
+
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, duration, delay):
+        yield sim.timeout(delay * 0.001)  # stagger arrivals slightly
+        yield from cpu.use(duration, owner=tag)
+        order.append(tag)
+
+    arrival = []
+    for i, (duration, delay_bucket) in enumerate(jobs):
+        sim.spawn(worker(i, duration, i))
+        arrival.append(i)
+    sim.run()
+    # With strictly staggered arrivals, completion order == arrival order.
+    assert order == arrival

@@ -1,0 +1,207 @@
+"""Property-based tests for the extension modules: cache, window
+manager, gauge quantization, battery models, expectations."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DiskCache
+from repro.core.expectations import ResourceWindow
+from repro.hardware import (
+    ExternalSupply,
+    Machine,
+    PeukertBattery,
+    PowerComponent,
+    Rect,
+    VoltageCurve,
+    ZonedDisplay,
+)
+from repro.apps import ZonedWindowManager
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# disk cache
+# ----------------------------------------------------------------------
+
+
+def run_generator(sim, gen):
+    proc = sim.spawn(gen)
+    while proc.alive:
+        if not sim.step():
+            raise RuntimeError("deadlock")
+
+
+def make_cached_machine(capacity):
+    from repro.hardware import build_machine
+
+    sim = Simulator()
+    machine = build_machine(sim)
+    return sim, machine, DiskCache(machine, capacity)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),     # key
+            st.integers(min_value=1, max_value=5000),  # size
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_cache_never_exceeds_capacity(operations):
+    capacity = 10_000
+    sim, machine, cache = make_cached_machine(capacity)
+
+    def session():
+        for key, size in operations:
+            yield from cache.insert(f"k{key}", size)
+
+    run_generator(sim, session())
+    assert cache.resident_bytes <= capacity
+    # LRU bookkeeping is consistent.
+    assert len(cache) <= 10
+    assert cache.resident_bytes == sum(cache._entries.values())
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=30)
+)
+def test_cache_fetch_through_hit_miss_accounting(accesses):
+    sim, machine, cache = make_cached_machine(10_000_000)
+    seen = set()
+    expected_hits = 0
+    expected_misses = 0
+    for key in accesses:
+        if key in seen:
+            expected_hits += 1
+        else:
+            expected_misses += 1
+            seen.add(key)
+
+    def network_fetch(size):
+        def fetch():
+            yield machine.sim.timeout(0.001)
+            return size
+        return fetch
+
+    def session():
+        for key in accesses:
+            yield from cache.fetch_through(key, network_fetch(100 + key))
+
+    run_generator(sim, session())
+    assert cache.hits == expected_hits
+    assert cache.misses == expected_misses
+
+
+# ----------------------------------------------------------------------
+# window manager snap-to
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    x=st.floats(min_value=0, max_value=700),
+    y=st.floats(min_value=0, max_value=500),
+    w=st.floats(min_value=10, max_value=400),
+    h=st.floats(min_value=10, max_value=300),
+    max_snap=st.floats(min_value=0, max_value=120),
+)
+def test_snap_never_worsens_and_respects_bounds(rows, cols, x, y, w, h, max_snap):
+    display = ZonedDisplay(4.0, 2.0, rows, cols, width=800, height=600)
+    mgr = ZonedWindowManager(display, max_snap=max_snap)
+    rect = Rect(x, y, min(w, 800 - x), min(h, 600 - y))
+    if rect.area <= 0:
+        return
+    snapped = mgr.snap(rect)
+    # Never more zones than before.
+    assert len(display.zones_for(snapped)) <= len(display.zones_for(rect))
+    # Displacement bounded per axis.
+    assert abs(snapped.x - rect.x) <= max_snap + 1e-9
+    assert abs(snapped.y - rect.y) <= max_snap + 1e-9
+    # Still on screen.
+    assert snapped.x >= -1e-9 and snapped.y >= -1e-9
+    assert snapped.x + snapped.width <= 800 + 1e-9
+    assert snapped.y + snapped.height <= 600 + 1e-9
+    # Size unchanged.
+    assert snapped.width == rect.width and snapped.height == rect.height
+
+
+# ----------------------------------------------------------------------
+# SmartBattery gauge quantization
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40)
+@given(
+    watts=st.floats(min_value=0.0, max_value=30.0),
+    resolution=st.floats(min_value=0.01, max_value=2.0),
+)
+def test_gauge_quantization_error_bounded(watts, resolution):
+    from repro.powerscope import SmartBatteryGauge
+
+    sim = Simulator()
+    machine = Machine(sim, ExternalSupply())
+    machine.attach(PowerComponent("load", {"on": watts}, "on"))
+    gauge = SmartBatteryGauge(
+        machine, period=1.0, resolution_w=resolution, averaging_window=1
+    )
+    readings = []
+    gauge.subscribe(lambda t, w, dt: readings.append(w))
+    gauge.start()
+    sim.run(until=2.0)
+    for reading in readings:
+        assert abs(reading - machine.power) <= resolution / 2 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# battery models
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(
+    power=st.floats(min_value=0.1, max_value=100.0),
+    rated=st.floats(min_value=1.0, max_value=20.0),
+    exponent=st.floats(min_value=1.0, max_value=1.3),
+    joules=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_peukert_penalty_direction(power, rated, exponent, joules):
+    battery = PeukertBattery(1e6, rated_power_w=rated, exponent=exponent)
+    battery.note_power(power)
+    battery.drain(joules)
+    if power > rated:
+        assert battery.drawn >= joules - 1e-9   # penalty
+    else:
+        assert battery.drawn <= joules + 1e-9   # bonus
+
+
+@settings(max_examples=50)
+@given(soc=st.floats(min_value=0.0, max_value=1.0))
+def test_voltage_curve_within_bounds(soc):
+    curve = VoltageCurve()
+    volts = curve.voltage(soc)
+    assert curve.v_empty - 1e-9 <= volts <= curve.v_full + 1e-9
+
+
+# ----------------------------------------------------------------------
+# resource windows
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(
+    low=st.floats(min_value=0.0, max_value=1e6),
+    span=st.floats(min_value=0.0, max_value=1e6),
+    level=st.floats(min_value=-1e6, max_value=2e6),
+)
+def test_window_contains_is_consistent(low, span, level):
+    window = ResourceWindow(low, low + span)
+    inside = window.contains(level)
+    assert inside == (low <= level <= low + span)

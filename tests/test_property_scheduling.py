@@ -1,0 +1,115 @@
+"""Property-based tests for scheduling, RPC accounting, and memory."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import ExternalSupply, Machine, MemorySystem, PowerComponent
+from repro.sim import QuantumScheduler, Simulator
+
+
+@settings(max_examples=30)
+@given(
+    quantum=st.floats(min_value=0.01, max_value=1.0),
+    durations=st.lists(
+        st.floats(min_value=0.01, max_value=3.0), min_size=1, max_size=6
+    ),
+)
+def test_scheduler_is_work_conserving(quantum, durations):
+    """Total completion time equals total work when jobs saturate the
+    CPU: no idle gaps are inserted by the slicing."""
+    sim = Simulator()
+    scheduler = QuantumScheduler(sim, quantum=quantum)
+    finished = []
+
+    def worker(duration):
+        yield from scheduler.run(duration)
+        finished.append(sim.now)
+
+    for duration in durations:
+        sim.spawn(worker(duration))
+    sim.run()
+    assert math.isclose(max(finished), sum(durations), rel_tol=1e-9)
+
+
+@settings(max_examples=30)
+@given(
+    quantum=st.floats(min_value=0.05, max_value=0.5),
+    work_a=st.floats(min_value=0.1, max_value=2.0),
+    work_b=st.floats(min_value=0.1, max_value=2.0),
+)
+def test_scheduler_attribution_proportional_to_work(quantum, work_a, work_b):
+    """Per-process energy shares follow work shares under slicing."""
+    sim = Simulator()
+    scheduler = QuantumScheduler(sim, quantum=quantum)
+    machine = Machine(sim, ExternalSupply(), scheduler=scheduler)
+    machine.attach(PowerComponent("base", {"on": 5.0}, "on"))
+
+    def app(tag, work):
+        yield from machine.compute(work, tag)
+
+    sim.spawn(app("a", work_a))
+    sim.spawn(app("b", work_b))
+    sim.run()
+    machine.advance()
+    report = machine.energy_report()
+    total_work = work_a + work_b
+    # Machine power is constant 5 W here, so energy share == time share.
+    assert math.isclose(
+        report["a"], 5.0 * work_a, rel_tol=1e-9, abs_tol=1e-9
+    )
+    assert math.isclose(
+        report["b"], 5.0 * work_b, rel_tol=1e-9, abs_tol=1e-9
+    )
+    assert math.isclose(
+        machine.energy_total, 5.0 * total_work, rel_tol=1e-9
+    )
+
+
+@settings(max_examples=30)
+@given(
+    capacity=st.floats(min_value=16.0, max_value=128.0),
+    ws_a=st.floats(min_value=1.0, max_value=100.0),
+    ws_b=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_memory_pressure_monotone(capacity, ws_a, ws_b):
+    sim = Simulator()
+    machine = Machine(sim, ExternalSupply())
+    memory = MemorySystem(machine, capacity_mb=capacity)
+    memory.declare("a", ws_a)
+    pressure_one = memory.pressure
+    memory.declare("b", ws_b)
+    pressure_two = memory.pressure
+    assert pressure_two >= pressure_one
+    assert 0.0 <= memory.paging_fraction() <= 0.9
+    memory.release("b")
+    assert memory.pressure == pressure_one
+
+
+@settings(max_examples=20)
+@given(
+    req=st.integers(min_value=100, max_value=100_000),
+    reply=st.integers(min_value=100, max_value=100_000),
+    work=st.floats(min_value=0.0, max_value=3.0),
+)
+def test_rpc_elapsed_time_accounting(req, reply, work):
+    """RPC elapsed time = transfer times + server time, exactly."""
+    from repro.hardware import build_machine
+    from repro.net import Link, RpcChannel, Server
+
+    sim = Simulator()
+    machine = build_machine(sim)
+    link = Link(machine, bandwidth_bps=2e6, latency=0.005)
+    server = Server("s", speed=1.0)
+    channel = RpcChannel(link, server)
+    got = []
+
+    def client():
+        took = yield from channel.call(req, reply, work_units=work)
+        got.append(took)
+
+    sim.spawn(client())
+    sim.run()
+    expected = link.transfer_time(req) + link.transfer_time(reply) + work
+    assert math.isclose(got[0], expected, rel_tol=1e-9)

@@ -1,0 +1,58 @@
+"""Property-based tests for session traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import SessionTrace, TraceAction
+
+OBJECTS = {
+    "speech": ["utterance-1", "utterance-2", "utterance-3", "utterance-4"],
+    "web": ["image-1", "image-2", "image-3", "image-4"],
+    "map": ["san-jose", "allentown", "boston", "pittsburgh"],
+}
+
+
+def action_strategy():
+    simple = st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),
+        st.sampled_from(["speech", "web", "map"]),
+    ).flatmap(
+        lambda pair: st.sampled_from(OBJECTS[pair[1]]).map(
+            lambda obj: TraceAction(round(pair[0], 3), pair[1], obj)
+        )
+    )
+    idle = st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),
+        st.floats(min_value=0.1, max_value=30.0),
+    ).map(lambda p: TraceAction(round(p[0], 3), "idle", "", duration=round(p[1], 3)))
+    video = st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),
+        st.floats(min_value=1.0, max_value=20.0),
+    ).map(
+        lambda p: TraceAction(
+            round(p[0], 3), "video", "video-1", duration=round(p[1], 3)
+        )
+    )
+    return st.one_of(simple, idle, video)
+
+
+@settings(max_examples=40)
+@given(st.lists(action_strategy(), min_size=1, max_size=15))
+def test_trace_render_parse_round_trip(actions):
+    trace = SessionTrace(actions)
+    again = SessionTrace.parse(trace.render())
+    assert len(again) == len(trace)
+    for a, b in zip(trace, again):
+        assert a.kind == b.kind
+        assert a.argument == b.argument
+        assert abs(a.at - b.at) < 1e-9
+        assert abs(a.duration - b.duration) < 1e-9
+
+
+@settings(max_examples=40)
+@given(st.lists(action_strategy(), min_size=1, max_size=15))
+def test_trace_actions_always_time_sorted(actions):
+    trace = SessionTrace(actions)
+    times = [a.at for a in trace]
+    assert times == sorted(times)
+    assert trace.span == times[-1]

@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Event, SchedulingError, Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_run_empty_queue_returns_now(self):
+        sim = Simulator()
+        assert sim.run() == 0.0
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_past_raises(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SchedulingError):
+            sim.run(until=1.0)
+
+
+class TestScheduling:
+    def test_callback_fires_at_scheduled_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.5, lambda t: fired.append(t))
+        sim.run()
+        assert fired == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda t: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("nan"), lambda t: None)
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda t: order.append("c"))
+        sim.schedule(1.0, lambda t: order.append("a"))
+        sim.schedule(2.0, lambda t: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, lambda t, tag=tag: order.append(tag))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.0, lambda t: fired.append(t))
+        sim.run()
+        assert fired == [12.0]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda t: fired.append("early"))
+        sim.schedule(5.0, lambda t: fired.append("late"))
+        sim.run(until=3.0)
+        assert fired == ["early"]
+        assert sim.now == 3.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_event_scheduled_during_run_executes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda t: sim.schedule(1.0, lambda t2: fired.append(t2)))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_peek_returns_next_event_time(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        sim.schedule(4.0, lambda t: None)
+        sim.schedule(2.0, lambda t: None)
+        assert sim.peek() == 2.0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+
+class TestWaitables:
+    def test_event_trigger_delivers_value(self):
+        sim = Simulator()
+        event = Event(sim)
+        got = []
+        event.subscribe(got.append)
+        event.succeed("payload")
+        assert got == ["payload"]
+
+    def test_event_trigger_is_idempotent(self):
+        sim = Simulator()
+        event = Event(sim)
+        got = []
+        event.subscribe(got.append)
+        event.succeed(1)
+        event.succeed(2)
+        assert got == [1]
+
+    def test_late_subscription_fires_immediately(self):
+        sim = Simulator()
+        event = Event(sim)
+        event.succeed("x")
+        got = []
+        event.subscribe(got.append)
+        assert got == ["x"]
+
+    def test_timeout_fires_after_delay(self):
+        sim = Simulator()
+        timeout = sim.timeout(7.0)
+        sim.run()
+        assert timeout.triggered
+        assert sim.now == 7.0
+
+    def test_zero_timeout_fires_at_current_instant(self):
+        sim = Simulator(start_time=3.0)
+        timeout = sim.timeout(0.0)
+        sim.run()
+        assert timeout.triggered
+        assert sim.now == 3.0
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.timeout(-1.0)

@@ -1,0 +1,152 @@
+"""Tests for the SmartBattery-style coarse power gauge (paper §5.1.1)."""
+
+import pytest
+
+from repro.experiments import (
+    derive_goals,
+    fidelity_runtime_bounds,
+    run_goal_experiment,
+)
+from repro.hardware import ExternalSupply, Machine, PowerComponent
+from repro.powerscope import GAUGE_OVERHEAD_W, SmartBatteryGauge
+from repro.sim import Simulator
+
+
+def flat_machine(sim, watts=8.0):
+    machine = Machine(sim, ExternalSupply())
+    machine.attach(PowerComponent("base", {"on": watts}, "on"))
+    return machine
+
+
+class TestGaugeBasics:
+    def test_publishes_at_configured_period(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        gauge = SmartBatteryGauge(machine, period=1.0, averaging_window=4)
+        got = []
+        gauge.subscribe(lambda t, w, dt: got.append((t, w, dt)))
+        gauge.start()
+        sim.run(until=5.0)
+        assert len(got) == 5
+        assert all(dt == pytest.approx(1.0) for _t, _w, dt in got)
+
+    def test_readings_are_quantized(self):
+        sim = Simulator()
+        machine = flat_machine(sim, watts=8.13)
+        gauge = SmartBatteryGauge(machine, resolution_w=0.25)
+        got = []
+        gauge.subscribe(lambda t, w, dt: got.append(w))
+        gauge.start()
+        sim.run(until=3.0)
+        for reading in got:
+            steps = reading / 0.25
+            assert steps == pytest.approx(round(steps))
+        # 8.13 quantizes to 8.25.
+        assert got[0] == pytest.approx(8.25)
+
+    def test_averaging_smooths_bursts(self):
+        sim = Simulator()
+        machine = flat_machine(sim, watts=4.0)
+        load = machine.attach(
+            PowerComponent("burst", {"off": 0.0, "on": 8.0}, "off")
+        )
+        gauge = SmartBatteryGauge(
+            machine, period=1.0, averaging_window=4, resolution_w=0.01
+        )
+        got = []
+        gauge.subscribe(lambda t, w, dt: got.append(w))
+        gauge.start()
+        # Burst on for half of each period.
+        sim.schedule(0.1, lambda t: load.set_state("on"))
+        sim.schedule(0.6, lambda t: load.set_state("off"))
+        sim.run(until=1.0)
+        # The published reading reflects a mixture, not the peak.
+        assert got and 4.0 < got[0] < 12.0
+
+    def test_stop_halts_publication(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        gauge = SmartBatteryGauge(machine, period=1.0)
+        got = []
+        gauge.subscribe(lambda t, w, dt: got.append(t))
+        gauge.start()
+        sim.run(until=2.5)
+        gauge.stop()
+        sim.run(until=10.0)
+        assert len(got) == 2
+
+    def test_overhead_component_under_10mw(self):
+        """Paper: SmartBattery solutions use less than 10 mW."""
+        sim = Simulator()
+        machine = flat_machine(sim)
+        SmartBatteryGauge(machine, model_overhead=True)
+        assert machine["smartbattery-gauge"].power <= GAUGE_OVERHEAD_W
+        assert GAUGE_OVERHEAD_W <= 0.010 + 1e-12
+
+    def test_validation(self):
+        sim = Simulator()
+        machine = flat_machine(sim)
+        with pytest.raises(ValueError):
+            SmartBatteryGauge(machine, period=0.0)
+        with pytest.raises(ValueError):
+            SmartBatteryGauge(machine, resolution_w=0.0)
+        with pytest.raises(ValueError):
+            SmartBatteryGauge(machine, averaging_window=0)
+
+
+class TestGoalAdaptationOnGauge:
+    """The deployment question the paper leaves open: does goal-directed
+    adaptation still work on coarse on-board readings?"""
+
+    def test_goals_nearly_met_with_coarse_gauge(self):
+        """The measured cost of coarse deployment readings: on 1 s
+        quantized (0.25 W) readings, goals are met or missed by under
+        1 % of the duration — persistent quantization under-reading can
+        delay the final degradations by a few control periods."""
+        energy = 5_000.0
+        t_hi, t_lo = fidelity_runtime_bounds(energy)
+        goals = derive_goals(t_hi, t_lo, count=3)
+        met = 0
+        for goal in goals:
+            result = run_goal_experiment(
+                goal,
+                initial_energy=energy,
+                monitor_factory=lambda machine: SmartBatteryGauge(
+                    machine, period=1.0, resolution_w=0.25
+                ),
+            )
+            met += result.goal_met
+            assert result.survived_seconds >= 0.99 * goal
+        assert met >= 2  # most goals met outright
+
+    def test_even_very_coarse_gauge_meets_midrange_goal(self):
+        energy = 5_000.0
+        t_hi, t_lo = fidelity_runtime_bounds(energy)
+        goal = derive_goals(t_hi, t_lo, count=3)[1]
+        result = run_goal_experiment(
+            goal,
+            initial_energy=energy,
+            monitor_factory=lambda machine: SmartBatteryGauge(
+                machine, period=2.0, resolution_w=1.0
+            ),
+        )
+        assert result.goal_met
+
+    def test_gauge_residual_tracking_close_to_truth(self):
+        """The gauge's quantization error stays small when integrated:
+        Odyssey's residual belief lands near the machine ground truth."""
+        energy = 5_000.0
+        t_hi, t_lo = fidelity_runtime_bounds(energy)
+        goal = derive_goals(t_hi, t_lo, count=3)[1]
+        result = run_goal_experiment(
+            goal,
+            initial_energy=energy,
+            monitor_factory=lambda machine: SmartBatteryGauge(
+                machine, period=1.0, resolution_w=0.25
+            ),
+        )
+        # Battery ground truth and believed residual agree within 5%.
+        _times, supply_series = result.timeline.series("energy", "supply")
+        assert supply_series[-1] == pytest.approx(
+            result.residual_energy, abs=0.05 * energy
+        )

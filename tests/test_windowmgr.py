@@ -1,0 +1,149 @@
+"""Tests for the zoned-display window manager (paper Section 4.1)."""
+
+import pytest
+
+from repro.hardware import Display, HardwareError, Rect, ZonedDisplay
+from repro.apps import ZonedWindowManager
+
+
+def make_display(rows=2, cols=2):
+    return ZonedDisplay(4.0, 2.0, rows, cols, width=800, height=600)
+
+
+class TestSnapTo:
+    def test_straddling_window_snaps_to_one_zone(self):
+        """The paper's snap-to: move windows slightly to straddle the
+        fewest possible zones."""
+        display = make_display(2, 2)  # zones are 400x300
+        mgr = ZonedWindowManager(display, max_snap=60)
+        # A 380x280 window offset by 40 px straddles all four zones...
+        straddling = Rect(40, 40, 380, 280)
+        assert len(display.zones_for(straddling)) == 4
+        snapped = mgr.snap(straddling)
+        # ...but fits one zone after a <=60 px nudge.
+        assert len(display.zones_for(snapped)) == 1
+        assert abs(snapped.x - straddling.x) <= 60
+        assert abs(snapped.y - straddling.y) <= 60
+
+    def test_far_window_not_moved_beyond_max_snap(self):
+        display = make_display(2, 2)
+        mgr = ZonedWindowManager(display, max_snap=10)
+        straddling = Rect(200, 150, 380, 280)  # dead center, 4 zones
+        snapped = mgr.snap(straddling)
+        assert abs(snapped.x - straddling.x) <= 10
+        assert abs(snapped.y - straddling.y) <= 10
+
+    def test_already_optimal_window_not_moved(self):
+        display = make_display(2, 2)
+        mgr = ZonedWindowManager(display, max_snap=60)
+        aligned = Rect(0, 0, 390, 290)
+        snapped = mgr.snap(aligned)
+        assert (snapped.x, snapped.y) == (0, 0)
+
+    def test_snap_keeps_window_on_screen(self):
+        display = make_display(2, 2)
+        mgr = ZonedWindowManager(display, max_snap=100)
+        edge = Rect(760, 560, 40, 40)
+        snapped = mgr.snap(edge)
+        assert snapped.x + snapped.width <= display.width
+        assert snapped.y + snapped.height <= display.height
+
+    def test_oversized_window_spans_minimum_zones(self):
+        display = make_display(2, 4)  # zones are 200x300
+        mgr = ZonedWindowManager(display, max_snap=60)
+        wide = Rect(30, 100, 580, 150)  # spans cols 0-3 (4 zones)
+        snapped = mgr.snap(wide)
+        assert len(display.zones_for(snapped)) <= 3
+
+
+class TestFocusIllumination:
+    def test_focus_window_zones_bright_rest_off(self):
+        display = make_display(2, 2)
+        mgr = ZonedWindowManager(
+            display, peripheral_level=ZonedDisplay.OFF
+        )
+        mgr.place("video", Rect(0, 0, 300, 250))
+        bright, dim = mgr.zones_lit()
+        assert bright == 1
+        assert dim == 0
+        assert display.power == pytest.approx(1.0)  # 1/4 of 4 W
+
+    def test_peripheral_windows_dim(self):
+        display = make_display(2, 2)
+        mgr = ZonedWindowManager(
+            display, peripheral_level=ZonedDisplay.DIM
+        )
+        mgr.place("video", Rect(0, 0, 300, 250))
+        mgr.place("map", Rect(450, 350, 300, 200))
+        mgr.set_focus("video")
+        bright, dim = mgr.zones_lit()
+        assert bright == 1 and dim == 1
+        # 1 zone bright (1.0 W) + 1 zone dim (0.5 W).
+        assert display.power == pytest.approx(1.5)
+
+    def test_focus_change_swaps_illumination(self):
+        display = make_display(2, 2)
+        mgr = ZonedWindowManager(display)
+        mgr.place("a", Rect(0, 0, 300, 250))
+        mgr.place("b", Rect(450, 350, 300, 200))
+        mgr.set_focus("b")
+        # b's zone (bottom-right, index 3) is bright now.
+        assert display.zone_levels[3] == ZonedDisplay.BRIGHT
+        assert display.zone_levels[0] == ZonedDisplay.DIM
+
+    def test_focus_wins_shared_zones(self):
+        display = make_display(2, 2)
+        mgr = ZonedWindowManager(display)
+        mgr.place("a", Rect(0, 0, 300, 250), snap=False)
+        mgr.place("b", Rect(100, 100, 150, 100), snap=False)  # same zone
+        mgr.set_focus("a")
+        assert display.zone_levels[0] == ZonedDisplay.BRIGHT
+
+    def test_remove_window_releases_zones(self):
+        display = make_display(2, 2)
+        mgr = ZonedWindowManager(
+            display, peripheral_level=ZonedDisplay.OFF
+        )
+        mgr.place("solo", Rect(0, 0, 300, 250))
+        mgr.remove("solo")
+        assert display.power == 0.0
+        assert mgr.focus is None
+
+    def test_remove_focused_window_promotes_another(self):
+        display = make_display(2, 2)
+        mgr = ZonedWindowManager(display)
+        mgr.place("a", Rect(0, 0, 300, 250))
+        mgr.place("b", Rect(450, 350, 300, 200))
+        mgr.remove("a")
+        assert mgr.focus == "b"
+
+    def test_set_focus_unknown_window_raises(self):
+        mgr = ZonedWindowManager(make_display())
+        with pytest.raises(KeyError):
+            mgr.set_focus("ghost")
+
+
+class TestValidation:
+    def test_requires_zoned_display(self):
+        stock = Display(4.0, 2.0)
+        with pytest.raises(HardwareError):
+            ZonedWindowManager(stock)
+
+    def test_invalid_peripheral_level_rejected(self):
+        with pytest.raises(HardwareError):
+            ZonedWindowManager(make_display(), peripheral_level="strobe")
+
+
+class TestEnergyImpact:
+    def test_managed_display_saves_energy_vs_full_panel(self):
+        """The §4.1 vision quantified: focus-only illumination cuts the
+        display draw well below the fully lit panel."""
+        display = make_display(2, 4)
+        full_power = display.power  # all zones bright
+        mgr = ZonedWindowManager(
+            display, peripheral_level=ZonedDisplay.DIM
+        )
+        mgr.place("video", Rect(0, 0, 190, 290))
+        mgr.place("map", Rect(210, 10, 180, 280))
+        mgr.set_focus("video")
+        assert display.power < 0.5 * full_power
