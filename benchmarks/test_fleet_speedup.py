@@ -1,0 +1,90 @@
+"""Fleet speedup: serial vs parallel wall-time for a ~20-task campaign.
+
+Two campaigns are timed so future PRs can track the speedup trajectory:
+
+* a *simulation* campaign (20 video-playback measurements, CPU-bound) —
+  on a multi-core box the pool wins; on a single core it records the
+  pool's overhead honestly;
+* a *latency* campaign (20 sleep tasks, I/O-shaped) — overlap wins on
+  any core count, which pins down that the runner actually overlaps
+  work rather than serializing it.
+
+Also asserts the acceptance bar: the parallel simulation campaign's
+aggregates are bit-identical to the serial ones, and a cache-warm
+re-run executes zero tasks.
+"""
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.fleet import CampaignSpec, FleetRunner, Task
+
+JOBS = 4
+SLEEP_S = 0.3
+
+
+def _video_campaign():
+    # 5 configs x 4 clips = 20 real simulation tasks (~0.2 s each).
+    from repro.fleet.campaigns import energy_table_campaign
+
+    return energy_table_campaign(
+        "video",
+        configs=("baseline", "hw-only", "premiere-c", "reduced-window",
+                 "combined"),
+    )
+
+
+def _sleep_campaign():
+    tasks = [
+        Task(id=f"sleep-{i}", fn="repro.fleet.library:sleep_for",
+             params={"seconds": SLEEP_S, "value": i})
+        for i in range(20)
+    ]
+    return CampaignSpec(name="sleep-20", tasks=tasks)
+
+
+def _timed_run(runner, spec):
+    start = time.perf_counter()
+    result = runner.run(spec)
+    return result, time.perf_counter() - start
+
+
+def test_fleet_speedup(benchmark, report, tmp_path):
+    spec = _video_campaign()
+    assert len(spec) == 20
+
+    serial, serial_s = _timed_run(FleetRunner(jobs=1), spec)
+    cache_dir = tmp_path / "cache"
+    parallel, parallel_s = run_once(
+        benchmark, _timed_run, FleetRunner(jobs=JOBS, cache=cache_dir), spec
+    )
+    warm, warm_s = _timed_run(FleetRunner(jobs=JOBS, cache=cache_dir), spec)
+
+    sleep_spec = _sleep_campaign()
+    _, sleep_serial_s = _timed_run(FleetRunner(jobs=1), sleep_spec)
+    _, sleep_parallel_s = _timed_run(FleetRunner(jobs=JOBS), sleep_spec)
+
+    cores = os.cpu_count() or 1
+    report(f"20-task video campaign ({cores} cores, jobs={JOBS}):")
+    report(f"  serial    {serial_s:6.2f}s")
+    report(f"  parallel  {parallel_s:6.2f}s  "
+           f"(speedup {serial_s / parallel_s:4.2f}x)")
+    report(f"  cache-warm{warm_s:6.2f}s  "
+           f"(executed {warm.telemetry.executed} tasks)")
+    report(f"20-task sleep campaign ({SLEEP_S:.1f}s each):")
+    report(f"  serial    {sleep_serial_s:6.2f}s")
+    report(f"  parallel  {sleep_parallel_s:6.2f}s  "
+           f"(speedup {sleep_serial_s / sleep_parallel_s:4.2f}x)")
+
+    # Correctness bars (hold on any machine).
+    assert serial.values == parallel.values == warm.values
+    assert warm.telemetry.executed == 0
+    assert warm.telemetry.cached == 20
+    # Overlap bar: 20 x 0.3 s of sleep on 4 workers must beat serial by
+    # a wide margin regardless of core count.
+    assert sleep_parallel_s < sleep_serial_s / 2
+    # CPU-bound speedup only materializes with real cores to spread over.
+    if cores >= 4:
+        assert parallel_s < serial_s

@@ -10,6 +10,11 @@ code:
 * ``python -m repro report`` — headline results vs the paper's bands
 * ``python -m repro export-figures DIR`` — every figure's plot data
   as CSV
+* ``python -m repro sweep --jobs 4 --trials 5`` — the fidelity studies
+  as one parallel, cached fleet campaign
+
+Commands that run many independent simulations take ``--jobs N`` to
+execute them on the fleet's process pool (see ``repro.fleet``).
 
 Pass ``--csv PATH`` where supported to also write machine-readable
 output.
@@ -26,8 +31,30 @@ from repro.analysis.export import energy_table_csv, timeline_csv, write_csv
 __all__ = ["main"]
 
 
-def _cmd_energy_table(args, table_fn, label):
-    table = table_fn(think_time_s=args.think) if args.think is not None else table_fn()
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text):
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _cmd_energy_table(args, table_fn, label, app=None):
+    jobs = getattr(args, "jobs", None)
+    if app is not None and jobs is not None and jobs != 1:
+        from repro.fleet import energy_table
+
+        table = energy_table(app, jobs=jobs, think_time_s=args.think)
+    elif args.think is not None:
+        table = table_fn(think_time_s=args.think)
+    else:
+        table = table_fn()
     objects = list(next(iter(table.values())))
     rows = [
         [config] + [f"{table[config][obj]:.1f}" for obj in objects]
@@ -112,6 +139,8 @@ def build_parser():
         p.add_argument("--think", type=float, default=None,
                        help="think time in seconds (map/web only)")
         p.add_argument("--csv", help="also write the table as CSV")
+        p.add_argument("--jobs", type=_positive_int, default=None,
+                       help="run the table's cells on N fleet workers")
 
     p = sub.add_parser("goal", help="run one goal-directed experiment")
     p.add_argument("--energy", type=float, default=6000.0,
@@ -137,6 +166,10 @@ def build_parser():
     p.add_argument("directory", help="output directory")
     p.add_argument("--figures", nargs="*", default=None,
                    help="subset of figure ids (default: all)")
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="regenerate figures on N fleet workers")
+    p.add_argument("--cache-dir", default=None,
+                   help="fleet result cache directory (re-runs are free)")
 
     p = sub.add_parser(
         "report", help="headline results across all experiments"
@@ -147,8 +180,79 @@ def build_parser():
                    help="skip the concurrency experiment")
     p.add_argument("--energy", type=float, default=6000.0,
                    help="initial energy for the goal experiments")
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="run the fidelity tables on N fleet workers")
+
+    p = sub.add_parser(
+        "sweep",
+        help="run the fidelity studies as one parallel fleet campaign",
+    )
+    p.add_argument("--apps", nargs="*", default=None,
+                   choices=("video", "speech", "map", "web"),
+                   help="subset of applications (default: all four)")
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="worker processes (default: one per CPU)")
+    p.add_argument("--trials", type=_positive_int, default=1,
+                   help="jittered trials per cell (1 = calibration run)")
+    p.add_argument("--think", type=float, default=None,
+                   help="think time in seconds (map/web)")
+    p.add_argument("--cache-dir", default=None,
+                   help="fleet result cache directory (re-runs are free)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-task wall-clock budget in seconds")
+    p.add_argument("--retries", type=_nonnegative_int, default=2,
+                   help="extra attempts per failing task")
+    p.add_argument("--progress", action="store_true",
+                   help="print a line per finished task")
+    p.add_argument("--csv-dir", default=None,
+                   help="also write one CSV per application table")
 
     return parser
+
+
+def _cmd_sweep(args):
+    from repro.fleet import ProgressPrinter, run_sweep
+
+    tables, result = run_sweep(
+        apps=args.apps,
+        jobs=args.jobs,
+        trials=args.trials,
+        think_time_s=args.think,
+        cache=args.cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=ProgressPrinter() if args.progress else None,
+    )
+    for app, table in tables.items():
+        objects = list(next(iter(table.values())))
+        rows = [
+            [config] + [f"{table[config][obj]:.1f}" for obj in objects]
+            for config in table
+        ]
+        title = f"{app} energy (J)"
+        if args.trials > 1:
+            title += f" — mean ± 90% CI over {args.trials} trials"
+        print(render_table([f"{app} (J)"] + objects, rows, title=title))
+        print()
+        if args.csv_dir:
+            import os
+
+            os.makedirs(args.csv_dir, exist_ok=True)
+            means = {
+                config: {
+                    obj: (cell.mean if hasattr(cell, "mean") else cell)
+                    for obj, cell in row.items()
+                }
+                for config, row in table.items()
+            }
+            path = os.path.join(args.csv_dir, f"sweep_{app}.csv")
+            write_csv(path, energy_table_csv(means, objects))
+            print(f"wrote {path}")
+    print(result.telemetry.render())
+    for failure in result.failures:
+        print(f"FAILED {failure.task_id} "
+              f"(attempts {failure.attempts}): {failure.error}")
+    return 0 if result.ok else 1
 
 
 def main(argv=None):
@@ -158,20 +262,24 @@ def main(argv=None):
         from repro.experiments import video_energy_table
 
         table_fn = lambda **kw: video_energy_table()
-        return _cmd_energy_table(args, table_fn, "Figure 6 — video")
+        return _cmd_energy_table(args, table_fn, "Figure 6 — video",
+                                 app="video")
     if args.command == "fig08":
         from repro.experiments import speech_energy_table
 
         table_fn = lambda **kw: speech_energy_table()
-        return _cmd_energy_table(args, table_fn, "Figure 8 — speech")
+        return _cmd_energy_table(args, table_fn, "Figure 8 — speech",
+                                 app="speech")
     if args.command == "fig10":
         from repro.experiments import map_energy_table
 
-        return _cmd_energy_table(args, map_energy_table, "Figure 10 — map")
+        return _cmd_energy_table(args, map_energy_table, "Figure 10 — map",
+                                 app="map")
     if args.command == "fig13":
         from repro.experiments import web_energy_table
 
-        return _cmd_energy_table(args, web_energy_table, "Figure 13 — web")
+        return _cmd_energy_table(args, web_energy_table, "Figure 13 — web",
+                                 app="web")
     if args.command == "goal":
         return _cmd_goal(args)
     if args.command == "profile":
@@ -179,7 +287,8 @@ def main(argv=None):
     if args.command == "export-figures":
         from repro.experiments import export_figures
 
-        written = export_figures(args.directory, figures=args.figures)
+        written = export_figures(args.directory, figures=args.figures,
+                                 jobs=args.jobs, cache=args.cache_dir)
         for path in written:
             print(f"wrote {path}")
         return 0
@@ -190,9 +299,12 @@ def main(argv=None):
             include_concurrency=not args.no_concurrency,
             include_goal=not args.no_goal,
             goal_energy=args.energy,
+            jobs=args.jobs,
         )
         print(render_report(report))
         return 0
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

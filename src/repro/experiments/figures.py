@@ -142,21 +142,37 @@ FIGURES = {
 }
 
 
-def export_figures(directory, figures=None):
+def export_figures(directory, figures=None, jobs=None, cache=None):
     """Write the selected figures' data bundles as CSV files.
 
-    Returns the list of file paths written.
+    Returns the list of file paths written.  With ``jobs > 1`` (or a
+    ``cache`` directory) each figure regenerates as one fleet task —
+    figures are independent, so they parallelize and cache whole.
     """
     os.makedirs(directory, exist_ok=True)
     selected = figures or sorted(FIGURES)
-    written = []
     for name in selected:
         if name not in FIGURES:
             raise KeyError(
                 f"unknown figure {name!r}; available: {sorted(FIGURES)}"
             )
-        for stem, text in FIGURES[name]().items():
+    if (jobs is not None and jobs > 1) or cache is not None:
+        bundles = _figure_bundles_fleet(selected, jobs, cache)
+    else:
+        bundles = [(name, FIGURES[name]()) for name in selected]
+    written = []
+    for _name, bundle in bundles:
+        for stem, text in bundle.items():
             path = os.path.join(directory, f"{stem}.csv")
             write_csv(path, text)
             written.append(path)
     return written
+
+
+def _figure_bundles_fleet(selected, jobs, cache):
+    from repro.fleet import FleetRunner, figures_campaign
+
+    spec = figures_campaign(selected)
+    result = FleetRunner(jobs=jobs, cache=cache).run(spec)
+    result.raise_on_failure()
+    return [(name, result.value(name)) for name in selected]

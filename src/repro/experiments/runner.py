@@ -9,6 +9,8 @@ while keeping the whole suite deterministic.
 
 from __future__ import annotations
 
+import pickle
+
 from repro.analysis.stats import summarize
 from repro.apps.costs import DEFAULT_COSTS
 
@@ -23,16 +25,56 @@ def trial_costs(trial, base_costs=None, spread=0.03):
     return base.jittered(seed=trial, spread=spread)
 
 
-def run_trials(experiment, trials=5, base_costs=None, spread=0.03):
+def _trial_value(experiment, base_costs, trial, spread):
+    """One trial's measurement — module-level so pool workers can run it."""
+    return experiment(trial_costs(trial, base_costs, spread))
+
+
+def run_trials(experiment, trials=5, base_costs=None, spread=0.03,
+               jobs=None, timeout_s=None):
     """Run ``experiment(costs) -> float`` for several trials.
 
     Returns a :class:`~repro.analysis.stats.TrialStats` over the trial
-    values.
+    values.  With ``jobs > 1`` the trials execute on the fleet's process
+    pool; each trial's costs are seeded by its trial number alone, so
+    the stats are bit-identical to the serial run.  An experiment that
+    cannot be pickled (a lambda or closure) degrades to serial.
     """
     if trials < 1:
-        raise ValueError(f"need at least one trial, got {trials}")
+        raise ValueError(
+            f"run_trials needs at least one trial, got trials={trials!r}"
+        )
+    if jobs is not None and jobs > 1 and trials > 1:
+        try:
+            pickle.dumps((experiment, base_costs))
+        except Exception:
+            pass  # unpicklable experiment: fall through to the serial path
+        else:
+            return _run_trials_fleet(
+                experiment, trials, base_costs, spread, jobs, timeout_s
+            )
     values = [
         experiment(trial_costs(trial, base_costs, spread))
         for trial in range(trials)
     ]
+    return summarize(values)
+
+
+def _run_trials_fleet(experiment, trials, base_costs, spread, jobs,
+                      timeout_s):
+    from repro.fleet import CampaignSpec, FleetRunner, Task
+
+    tasks = [
+        Task(
+            id=f"trial-{trial}",
+            fn="repro.experiments.runner:_trial_value",
+            params={"trial": trial, "spread": spread},
+            payload=(experiment, base_costs),
+        )
+        for trial in range(trials)
+    ]
+    spec = CampaignSpec(name="trials", tasks=tasks)
+    result = FleetRunner(jobs=jobs, timeout_s=timeout_s).run(spec)
+    result.raise_on_failure()
+    values = [result.value(f"trial-{trial}") for trial in range(trials)]
     return summarize(values)

@@ -53,11 +53,22 @@ def _band(values):
     return min(values), max(values)
 
 
-def fidelity_summary():
-    """Per-application hardware-PM and lowest-fidelity savings bands."""
+def fidelity_summary(jobs=None):
+    """Per-application hardware-PM and lowest-fidelity savings bands.
+
+    With ``jobs > 1`` the tables come from the fleet (same
+    measurements, bit-identical values, parallel execution).
+    """
+    if jobs is not None and jobs > 1:
+        from repro.fleet import FleetRunner, energy_table
+
+        runner = FleetRunner(jobs=jobs)
+        tables = {app: energy_table(app, runner=runner) for app in TABLES}
+    else:
+        tables = None
     summary = {}
     for app, table_fn in TABLES.items():
-        table = table_fn()
+        table = tables[app] if tables is not None else table_fn()
         objects = list(table["baseline"])
         hw = [
             1 - table["hw-only"][o] / table["baseline"][o] for o in objects
@@ -94,9 +105,9 @@ def goal_summary(initial_energy=6_000.0):
 
 
 def full_report(include_concurrency=True, include_goal=True,
-                goal_energy=6_000.0):
+                goal_energy=6_000.0, jobs=None):
     """Run the headline experiments; returns a nested dict."""
-    report = {"fidelity": fidelity_summary()}
+    report = {"fidelity": fidelity_summary(jobs=jobs)}
     if include_concurrency:
         table = concurrency_table(iterations=2)
         report["concurrency"] = {

@@ -1,0 +1,57 @@
+"""repro.fleet — a parallel, fault-tolerant simulation campaign engine.
+
+Treats one independent simulation as a schedulable :class:`Task`, a set
+of them as a :class:`CampaignSpec`, and runs campaigns across a process
+pool with per-task timeouts, bounded retries, an on-disk result cache,
+and live telemetry.  Serial (``jobs=1``) and parallel runs produce
+bit-identical aggregates; failures become recorded partial results,
+never silent drops.  See docs/architecture.md ("Fleet").
+"""
+
+from repro.fleet.cache import ResultCache
+from repro.fleet.campaigns import (
+    APPS,
+    energy_table,
+    energy_table_campaign,
+    figures_campaign,
+    run_sweep,
+    sweep_campaign,
+    tables_from_result,
+)
+from repro.fleet.errors import CampaignError, FleetError, TaskTimeout
+from repro.fleet.runner import CampaignResult, FleetRunner, TaskResult
+from repro.fleet.spec import (
+    CampaignSpec,
+    Task,
+    derive_seed,
+    resolve_callable,
+    task_key,
+)
+from repro.fleet.telemetry import FleetTelemetry, ProgressPrinter
+from repro.fleet.worker import execute_task, run_task
+
+__all__ = [
+    "Task",
+    "CampaignSpec",
+    "derive_seed",
+    "task_key",
+    "resolve_callable",
+    "FleetRunner",
+    "TaskResult",
+    "CampaignResult",
+    "ResultCache",
+    "FleetTelemetry",
+    "ProgressPrinter",
+    "FleetError",
+    "TaskTimeout",
+    "CampaignError",
+    "execute_task",
+    "run_task",
+    "APPS",
+    "energy_table",
+    "energy_table_campaign",
+    "figures_campaign",
+    "sweep_campaign",
+    "run_sweep",
+    "tables_from_result",
+]

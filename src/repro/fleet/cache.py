@@ -1,0 +1,87 @@
+"""On-disk result cache keyed by stable task hashes.
+
+One JSON file per completed task, named by the task's
+:func:`~repro.fleet.spec.task_key`.  Re-running a campaign therefore
+executes only tasks whose spec (callable path, parameters, or the
+global :data:`~repro.fleet.spec.CACHE_KEY_VERSION`) changed; everything
+else is served from disk.  Writes are atomic (tempfile + rename) so a
+killed campaign never leaves a truncated record behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` records for completed tasks."""
+
+    def __init__(self, directory):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path(self, key):
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key):
+        """Return the cached record for ``key``, or ``None``.
+
+        A corrupt record (interrupted write from a pre-atomic era, disk
+        fault) is treated as a miss and removed, never an error.
+        """
+        if key is None:
+            return None
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.discard(key)
+            return None
+
+    def put(self, key, record):
+        """Atomically store ``record`` (a JSON-serializable dict)."""
+        if key is None:
+            raise ValueError("cannot cache a task without a stable key")
+        text = json.dumps(record, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def discard(self, key):
+        try:
+            os.unlink(self.path(key))
+        except OSError:
+            pass
+
+    def keys(self):
+        return [
+            name[: -len(".json")]
+            for name in os.listdir(self.directory)
+            if name.endswith(".json") and not name.startswith(".tmp-")
+        ]
+
+    def __len__(self):
+        return len(self.keys())
+
+    def __contains__(self, key):
+        return key is not None and os.path.exists(self.path(key))
+
+    def clear(self):
+        for key in self.keys():
+            self.discard(key)

@@ -1,0 +1,204 @@
+"""Prebuilt campaigns over the paper's experiment suite.
+
+The builders turn the fidelity studies (Figures 6/8/10/13), the
+jittered-trial protocol, and whole-figure regeneration into
+:class:`~repro.fleet.spec.CampaignSpec` instances, and the aggregation
+helpers fold a :class:`~repro.fleet.runner.CampaignResult` back into
+the ``{config: {object: value}}`` tables the rest of the codebase
+speaks.  Aggregates are assembled in campaign task order, so a table
+built from a parallel run is bit-identical to the serial one.
+
+Task ids are ``app/config/object[/t<trial>]`` — ``/`` never appears in
+config or workload names, so the aggregators can parse ids back.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import summarize
+from repro.experiments.fidelity_study import (
+    MAP_CONFIGS,
+    SPEECH_CONFIGS,
+    VIDEO_CONFIGS,
+    WEB_CONFIGS,
+)
+from repro.fleet.runner import FleetRunner
+from repro.fleet.spec import CampaignSpec, Task
+from repro.workloads import MAPS, UTTERANCES
+from repro.workloads.images import IMAGES
+from repro.workloads.videos import VIDEO_CLIPS
+
+__all__ = [
+    "APPS",
+    "energy_table_campaign",
+    "sweep_campaign",
+    "figures_campaign",
+    "tables_from_result",
+    "energy_table",
+    "run_sweep",
+]
+
+#: Per-application wiring: library callable, its object parameter name,
+#: the figure's config set, the workload objects, and whether the
+#: measurement takes a think time.
+APPS = {
+    "video": {
+        "fn": "repro.fleet.library:video_energy",
+        "param": "clip",
+        "configs": tuple(VIDEO_CONFIGS),
+        "objects": tuple(clip.name for clip in VIDEO_CLIPS),
+        "think": False,
+    },
+    "speech": {
+        "fn": "repro.fleet.library:speech_energy",
+        "param": "utterance",
+        "configs": tuple(SPEECH_CONFIGS),
+        "objects": tuple(utt.name for utt in UTTERANCES),
+        "think": False,
+    },
+    "map": {
+        "fn": "repro.fleet.library:map_energy",
+        "param": "city",
+        "configs": tuple(MAP_CONFIGS),
+        "objects": tuple(city.name for city in MAPS),
+        "think": True,
+    },
+    "web": {
+        "fn": "repro.fleet.library:web_energy",
+        "param": "image",
+        "configs": tuple(WEB_CONFIGS),
+        "objects": tuple(image.name for image in IMAGES),
+        "think": True,
+    },
+}
+
+
+def _app_tasks(app, configs=None, objects=None, think_time_s=None,
+               trials=1, spread=0.03):
+    if app not in APPS:
+        raise KeyError(f"unknown app {app!r}; available: {sorted(APPS)}")
+    info = APPS[app]
+    configs = tuple(configs) if configs is not None else info["configs"]
+    objects = tuple(objects) if objects is not None else info["objects"]
+    tasks = []
+    for config in configs:
+        for obj in objects:
+            params = {info["param"]: obj, "config": config}
+            if info["think"]:
+                params["think_time_s"] = (
+                    5.0 if think_time_s is None else float(think_time_s)
+                )
+            for trial in range(trials):
+                task_params = dict(params)
+                if trials > 1:
+                    task_params["trial"] = trial
+                    task_params["spread"] = spread
+                    task_id = f"{app}/{config}/{obj}/t{trial}"
+                else:
+                    task_id = f"{app}/{config}/{obj}"
+                tasks.append(Task(id=task_id, fn=info["fn"],
+                                  params=task_params))
+    return tasks
+
+
+def energy_table_campaign(app, configs=None, objects=None,
+                          think_time_s=None, trials=1, spread=0.03,
+                          name=None):
+    """One figure's energy table as a campaign (one task per cell/trial)."""
+    tasks = _app_tasks(app, configs, objects, think_time_s, trials, spread)
+    return CampaignSpec(name=name or f"{app}-energy-table", tasks=tasks)
+
+
+def sweep_campaign(apps=None, think_time_s=None, trials=1, spread=0.03,
+                   name="sweep"):
+    """All four fidelity studies (or a subset) as one flat campaign."""
+    apps = tuple(apps) if apps is not None else tuple(APPS)
+    tasks = []
+    for app in apps:
+        tasks.extend(
+            _app_tasks(app, think_time_s=think_time_s, trials=trials,
+                       spread=spread)
+        )
+    return CampaignSpec(name=name, tasks=tasks)
+
+
+def figures_campaign(figures=None, name="figures"):
+    """Whole-figure regeneration: one task per paper figure."""
+    from repro.experiments.figures import FIGURES
+
+    selected = tuple(figures) if figures is not None else tuple(sorted(FIGURES))
+    for fig in selected:
+        if fig not in FIGURES:
+            raise KeyError(
+                f"unknown figure {fig!r}; available: {sorted(FIGURES)}"
+            )
+    tasks = [
+        Task(id=fig, fn="repro.fleet.library:run_figure",
+             params={"name": fig})
+        for fig in selected
+    ]
+    return CampaignSpec(name=name, tasks=tasks)
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def tables_from_result(result, trials=1):
+    """Fold a sweep/table campaign back into ``{app: {config: {obj: v}}}``.
+
+    With ``trials > 1`` each cell is a
+    :class:`~repro.analysis.stats.TrialStats` over its trial values.
+    Cells with any failed task are omitted — the failures stay recorded
+    on ``result.failures``, so partial campaigns degrade loudly, not
+    silently.
+    """
+    values = result.values
+    tables = {}
+    cells = {}
+    for task in result.spec.tasks:
+        parts = task.id.split("/")
+        if len(parts) < 3:
+            continue  # not an app/config/object cell (foreign task)
+        app, config, obj = parts[0], parts[1], parts[2]
+        cells.setdefault((app, config, obj), []).append(task.id)
+    for (app, config, obj), task_ids in cells.items():
+        if any(task_id not in values for task_id in task_ids):
+            continue
+        cell_values = [values[task_id] for task_id in task_ids]
+        cell = summarize(cell_values) if trials > 1 else cell_values[0]
+        tables.setdefault(app, {}).setdefault(config, {})[obj] = cell
+    return tables
+
+
+def run_sweep(apps=None, jobs=None, trials=1, think_time_s=None,
+              spread=0.03, runner=None, cache=None, timeout_s=None,
+              retries=2, progress=None):
+    """Build, run, and aggregate a sweep; returns ``(tables, result)``."""
+    spec = sweep_campaign(apps, think_time_s=think_time_s, trials=trials,
+                          spread=spread)
+    if runner is None:
+        runner = FleetRunner(jobs=jobs, timeout_s=timeout_s,
+                             retries=retries, cache=cache,
+                             progress=progress)
+    result = runner.run(spec)
+    return tables_from_result(result, trials=trials), result
+
+
+def energy_table(app, jobs=None, configs=None, objects=None,
+                 think_time_s=None, runner=None, cache=None,
+                 timeout_s=None, retries=2, progress=None):
+    """One figure's ``{config: {object: J}}`` via the fleet.
+
+    Equivalent to the serial ``*_energy_table`` functions in
+    :mod:`repro.experiments.fidelity_study` (same measurements, same
+    calibration costs) but parallel and cacheable.  Raises
+    :class:`~repro.fleet.errors.CampaignError` if any cell failed —
+    a figure table with silent holes would be worse than an error.
+    """
+    spec = energy_table_campaign(app, configs=configs, objects=objects,
+                                 think_time_s=think_time_s)
+    if runner is None:
+        runner = FleetRunner(jobs=jobs, timeout_s=timeout_s,
+                             retries=retries, cache=cache,
+                             progress=progress)
+    result = runner.run(spec).raise_on_failure()
+    return tables_from_result(result)[app]

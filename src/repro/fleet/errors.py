@@ -1,0 +1,25 @@
+"""Exceptions raised by the fleet campaign engine."""
+
+from __future__ import annotations
+
+__all__ = ["FleetError", "TaskTimeout", "CampaignError"]
+
+
+class FleetError(Exception):
+    """Base class for campaign-engine errors."""
+
+
+class TaskTimeout(FleetError):
+    """A task exceeded its wall-clock budget inside a worker."""
+
+
+class CampaignError(FleetError):
+    """A campaign whose caller required every task to succeed had failures.
+
+    Carries the failed :class:`~repro.fleet.runner.TaskResult` records so
+    callers can report exactly which tasks broke and why.
+    """
+
+    def __init__(self, message, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)

@@ -1,0 +1,300 @@
+"""FleetRunner: execute a campaign across a process pool, fault-tolerantly.
+
+Execution contract:
+
+* **Determinism.** Tasks are independent and individually deterministic,
+  so results depend only on each task's spec — never on worker count or
+  completion order.  ``CampaignResult.results`` is always in campaign
+  task order, which makes serial (``jobs=1``) and parallel aggregates
+  bit-identical.
+* **Fault tolerance.** A task that raises, times out, or takes its
+  worker process down is retried up to ``retries`` times with
+  exponential backoff; a task that exhausts its attempts becomes a
+  *recorded failure* — the campaign still completes and returns every
+  other result.  Failures are never silently dropped.
+* **Caching.** With a cache attached, each cacheable task's result is
+  stored under its stable spec hash; a re-run executes only tasks whose
+  spec changed.
+* **Serial path.** ``jobs=1`` runs everything in-process with the same
+  retry/cache/telemetry semantics and zero pool overhead — it is both
+  the speedup baseline and the degenerate case.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+try:  # BrokenProcessPool moved in 3.3→3.7 eras; import defensively.
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = OSError
+
+from repro.fleet.cache import ResultCache
+from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.worker import run_task
+
+__all__ = ["FleetRunner", "TaskResult", "CampaignResult"]
+
+#: Terminal task states.
+OK, CACHED, FAILED = "ok", "cached", "failed"
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one task: a value, a cache hit, or a recorded failure."""
+
+    task_id: str
+    status: str
+    value: object = None
+    error: str = None
+    attempts: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def ok(self):
+        return self.status in (OK, CACHED)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Every task's outcome, in campaign order, plus run telemetry."""
+
+    spec: object
+    results: tuple
+    telemetry: FleetTelemetry
+
+    @property
+    def values(self):
+        """``{task_id: value}`` for every task that produced a value."""
+        return {r.task_id: r.value for r in self.results if r.ok}
+
+    @property
+    def failures(self):
+        return tuple(r for r in self.results if r.status == FAILED)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def value(self, task_id):
+        """The value of one task; raises if it failed or is unknown."""
+        for result in self.results:
+            if result.task_id == task_id:
+                if not result.ok:
+                    raise KeyError(
+                        f"task {task_id!r} failed: {result.error}"
+                    )
+                return result.value
+        raise KeyError(f"no task {task_id!r} in campaign {self.spec.name!r}")
+
+    def raise_on_failure(self):
+        """Raise :class:`~repro.fleet.errors.CampaignError` if any task failed."""
+        if self.failures:
+            from repro.fleet.errors import CampaignError
+
+            summary = "; ".join(
+                f"{r.task_id}: {r.error}" for r in self.failures
+            )
+            raise CampaignError(
+                f"{len(self.failures)} of {len(self.results)} tasks failed "
+                f"in campaign {self.spec.name!r}: {summary}",
+                failures=self.failures,
+            )
+        return self
+
+
+def _describe(exc):
+    return f"{type(exc).__name__}: {exc}"
+
+
+class FleetRunner:
+    """Run :class:`~repro.fleet.spec.CampaignSpec` instances.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means ``os.cpu_count()``, ``1`` runs
+        serially in-process.
+    timeout_s:
+        Default per-task wall-clock budget, enforced inside workers
+        (see :mod:`repro.fleet.worker`).  ``Task.timeout_s`` overrides.
+    retries:
+        Extra attempts after the first failure of a task.
+    backoff_s:
+        Base retry delay; attempt *n* waits ``backoff_s * 2**(n-1)``.
+    cache:
+        ``None``, a directory path, or a :class:`ResultCache`.
+    progress:
+        Optional callable ``progress(event, task_id, telemetry, detail)``
+        invoked on cached/ok/failed/retry events.
+    """
+
+    def __init__(self, jobs=None, timeout_s=None, retries=2,
+                 backoff_s=0.05, cache=None, progress=None):
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, spec):
+        """Execute every task; returns a :class:`CampaignResult`."""
+        telemetry = FleetTelemetry(total=len(spec.tasks))
+        started = time.monotonic()
+        results = {}
+        pending = []
+        for task in spec.tasks:
+            record = self.cache.get(task.key()) if self.cache else None
+            if record is not None:
+                results[task.id] = TaskResult(
+                    task.id, CACHED, value=record["value"],
+                    wall_s=record.get("wall_s", 0.0),
+                )
+                telemetry.cached += 1
+                self._emit(CACHED, task.id, telemetry)
+            else:
+                pending.append(task)
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(pending, results, telemetry)
+            else:
+                self._run_pool(pending, results, telemetry)
+
+        telemetry.wall_s = time.monotonic() - started
+        ordered = tuple(results[task.id] for task in spec.tasks)
+        return CampaignResult(spec=spec, results=ordered, telemetry=telemetry)
+
+    # ------------------------------------------------------------------
+    def _emit(self, event, task_id, telemetry, detail=None):
+        if self.progress is not None:
+            self.progress(event, task_id, telemetry, detail)
+
+    def _record_success(self, task, outcome, attempt, results, telemetry):
+        results[task.id] = TaskResult(
+            task.id, OK, value=outcome["value"],
+            attempts=attempt, wall_s=outcome["wall_s"],
+        )
+        telemetry.succeeded += 1
+        telemetry.busy_s += outcome["wall_s"]
+        if self.cache is not None and task.cacheable:
+            self.cache.put(task.key(), {
+                "fn": task.fn,
+                "params": task.params,
+                "value": outcome["value"],
+                "wall_s": outcome["wall_s"],
+            })
+        self._emit(OK, task.id, telemetry, f"{outcome['wall_s']:.3f}s")
+
+    def _record_failure(self, task, error, attempt, results, telemetry):
+        results[task.id] = TaskResult(
+            task.id, FAILED, error=error, attempts=attempt,
+        )
+        telemetry.failed += 1
+        self._emit(FAILED, task.id, telemetry, error)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, tasks, results, telemetry):
+        for task in tasks:
+            for attempt in range(1, self.retries + 2):
+                telemetry.attempts += 1
+                try:
+                    outcome = run_task(task, self.timeout_s)
+                except Exception as exc:
+                    if attempt <= self.retries:
+                        telemetry.retried += 1
+                        self._emit("retry", task.id, telemetry, _describe(exc))
+                        time.sleep(self.backoff_s * 2 ** (attempt - 1))
+                        continue
+                    self._record_failure(
+                        task, _describe(exc), attempt, results, telemetry
+                    )
+                else:
+                    self._record_success(
+                        task, outcome, attempt, results, telemetry
+                    )
+                break
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, tasks, results, telemetry):
+        executor = ProcessPoolExecutor(max_workers=self.jobs)
+        inflight = {}
+        retry_heap = []  # (due_time, tiebreak, task, attempt)
+        tiebreak = itertools.count()
+
+        def submit(task, attempt):
+            nonlocal executor
+            telemetry.attempts += 1
+            try:
+                future = executor.submit(run_task, task, self.timeout_s)
+            except BrokenProcessPool:
+                # The pool died between completions; replace it wholesale.
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=self.jobs)
+                future = executor.submit(run_task, task, self.timeout_s)
+            inflight[future] = (task, attempt)
+            telemetry.running += 1
+
+        def fail_or_retry(task, attempt, error):
+            if attempt <= self.retries:
+                telemetry.retried += 1
+                self._emit("retry", task.id, telemetry, error)
+                due = time.monotonic() + self.backoff_s * 2 ** (attempt - 1)
+                heapq.heappush(
+                    retry_heap, (due, next(tiebreak), task, attempt + 1)
+                )
+            else:
+                self._record_failure(task, error, attempt, results, telemetry)
+
+        try:
+            for task in tasks:
+                submit(task, 1)
+
+            while inflight or retry_heap:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, _, task, attempt = heapq.heappop(retry_heap)
+                    submit(task, attempt)
+                if not inflight:
+                    time.sleep(max(0.0, retry_heap[0][0] - now))
+                    continue
+                wait_timeout = (
+                    max(0.0, retry_heap[0][0] - now) if retry_heap else None
+                )
+                done, _ = wait(
+                    inflight, timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    task, attempt = inflight.pop(future)
+                    telemetry.running -= 1
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool as exc:
+                        # Worker crash kills every in-flight future; each
+                        # surfaces here and burns one attempt for its task.
+                        fail_or_retry(
+                            task, attempt,
+                            f"worker process crashed ({_describe(exc)})",
+                        )
+                    except Exception as exc:
+                        fail_or_retry(task, attempt, _describe(exc))
+                    else:
+                        self._record_success(
+                            task, outcome, attempt, results, telemetry
+                        )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,92 @@
+"""Campaign progress counters and the CLI progress printer.
+
+``busy_s`` accumulates every successful task's in-worker wall time, so
+``busy_s / wall_s`` estimates the speedup over running the same work
+serially — the number the sweep command reports.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+__all__ = ["FleetTelemetry", "ProgressPrinter"]
+
+
+@dataclass
+class FleetTelemetry:
+    """Live counters for one campaign run."""
+
+    total: int = 0
+    cached: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    retried: int = 0
+    attempts: int = 0
+    running: int = 0
+    busy_s: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def done(self):
+        return self.cached + self.succeeded + self.failed
+
+    @property
+    def executed(self):
+        """Tasks that actually ran (i.e. were not served from cache)."""
+        return self.succeeded + self.failed
+
+    @property
+    def queued(self):
+        return max(0, self.total - self.done - self.running)
+
+    @property
+    def speedup_estimate(self):
+        """Estimated speedup vs running the executed work serially."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.busy_s / self.wall_s
+
+    def snapshot(self):
+        return {
+            "total": self.total,
+            "queued": self.queued,
+            "running": self.running,
+            "done": self.done,
+            "cached": self.cached,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "retried": self.retried,
+            "attempts": self.attempts,
+            "busy_s": self.busy_s,
+            "wall_s": self.wall_s,
+        }
+
+    def render(self):
+        """One summary line for the terminal."""
+        line = (
+            f"fleet: {self.total} tasks  ok {self.succeeded}  "
+            f"cached {self.cached}  failed {self.failed}  "
+            f"retries {self.retried}  wall {self.wall_s:.2f}s"
+        )
+        if self.succeeded:
+            line += (
+                f"  busy {self.busy_s:.2f}s"
+                f"  est. speedup {self.speedup_estimate:.1f}x"
+            )
+        return line
+
+
+@dataclass
+class ProgressPrinter:
+    """Per-task progress lines: ``[done/total] ok map/cropped (0.3s)``."""
+
+    stream: object = field(default_factory=lambda: sys.stderr)
+
+    def __call__(self, event, task_id, telemetry, detail=None):
+        suffix = f" ({detail})" if detail else ""
+        print(
+            f"[{telemetry.done}/{telemetry.total}] {event} {task_id}{suffix}",
+            file=self.stream,
+            flush=True,
+        )

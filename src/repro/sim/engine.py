@@ -115,9 +115,17 @@ class Simulator:
         heapq.heappush(self._heap, entry)
         return entry
 
+    #: Absolute times within this relative tolerance of ``now`` count as
+    #: "now": accumulated float error in ``when`` computed as a sum of
+    #: intervals can land a few ulps before the clock.
+    SCHEDULE_AT_EPSILON = 1e-9
+
     def schedule_at(self, when, callback):
         """Run ``callback(sim_time)`` at absolute simulated time ``when``."""
-        return self.schedule(when - self.now, callback)
+        delay = when - self.now
+        if delay < 0 and -delay <= self.SCHEDULE_AT_EPSILON * max(1.0, abs(self.now)):
+            delay = 0.0
+        return self.schedule(delay, callback)
 
     def timeout(self, delay):
         """Return a :class:`Timeout` waitable firing ``delay`` seconds from now."""

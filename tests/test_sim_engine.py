@@ -70,6 +70,29 @@ class TestScheduling:
         sim.run()
         assert fired == [12.0]
 
+    def test_schedule_at_clamps_float_drift(self):
+        # Summing intervals can land "now" a few ulps past the absolute
+        # time a caller computed independently; that must not raise.
+        sim = Simulator()
+        sim.schedule(0.1 + 0.2, lambda t: None)  # 0.30000000000000004
+        sim.run()
+        fired = []
+        sim.schedule_at(0.3, lambda t: fired.append(t))  # tiny bit in the past
+        sim.run()
+        assert fired == [sim.now]
+
+    def test_schedule_at_drift_clamp_scales_with_clock(self):
+        sim = Simulator(start_time=1e6)
+        fired = []
+        sim.schedule_at(1e6 - 1e-5, lambda t: fired.append(t))  # within 1e-9 rel
+        sim.run()
+        assert fired == [1e6]
+
+    def test_schedule_at_still_rejects_genuine_past(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(9.0, lambda t: None)
+
     def test_run_until_stops_before_later_events(self):
         sim = Simulator()
         fired = []
