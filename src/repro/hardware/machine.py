@@ -10,6 +10,26 @@ than the sum of the individual component draws, and a 5.6 W background
 component sum slightly.  The correction is a pluggable callable so the
 ThinkPad 560X calibration can reproduce both published totals.
 
+Because the power signal is piecewise constant, the machine caches the
+instantaneous total (and the correction, computed once per refresh) and
+invalidates the cache only when a component is about to change state —
+components announce changes through their ``_pre_change`` hook, which
+:meth:`Machine.attach` points at :meth:`Machine.power_will_change`.
+Component authors adding new power-affecting mutations must call that
+hook *before* mutating; see docs/architecture.md ("Performance").
+
+Segment journal
+---------------
+Instead of updating the attribution dictionaries on every integration
+step, :meth:`Machine.advance` appends to a *segment journal*: a list of
+``(t0, t1, power, context, overlays, component powers)`` spans.
+Consecutive advances with identical state extend the open span in
+place, so the journal length is proportional to the number of genuine
+change points, not to how often anyone polled.  Per-component and
+per-process energies *fold* lazily from closed segments the first time
+they are read; the lazy PowerScope sampler replays the journal to
+synthesize its sample streams without ever scheduling a tick.
+
 Attribution model
 -----------------
 PowerScope attributes each current sample — i.e. the *whole machine's*
@@ -33,10 +53,57 @@ import itertools
 from repro.hardware.component import HardwareError
 from repro.sim.resources import Resource
 
-__all__ = ["Machine", "IDLE_PROCESS", "IDLE_PROCEDURE"]
+__all__ = ["Machine", "PowerSegment", "IDLE_PROCESS", "IDLE_PROCEDURE"]
 
 IDLE_PROCESS = "Idle"
 IDLE_PROCEDURE = "_kernel_idle"
+
+
+class PowerSegment:
+    """One piecewise-constant span of the machine's power signal.
+
+    ``context``, ``overlays`` and ``comp_powers`` are immutable
+    snapshots taken when the span opened; ``t1`` extends in place while
+    the machine's state stays unchanged.
+    """
+
+    __slots__ = ("t0", "t1", "power", "context", "overlays",
+                 "comp_powers", "correction")
+
+    def __init__(self, t0, t1, power, context, overlays, comp_powers,
+                 correction):
+        self.t0 = t0
+        self.t1 = t1
+        self.power = power
+        self.context = context
+        self.overlays = overlays
+        self.comp_powers = comp_powers
+        self.correction = correction
+
+    @property
+    def duration(self):
+        return self.t1 - self.t0
+
+    @property
+    def energy(self):
+        return self.power * (self.t1 - self.t0)
+
+    def __repr__(self):
+        return (f"<PowerSegment [{self.t0:.6f}, {self.t1:.6f}] "
+                f"{self.power:.2f}W {self.context}>")
+
+
+class _ContextNode:
+    """Doubly-linked context-stack entry, addressable by token in O(1)."""
+
+    __slots__ = ("token", "process", "procedure", "prev", "next")
+
+    def __init__(self, token, process, procedure):
+        self.token = token
+        self.process = process
+        self.procedure = procedure
+        self.prev = None
+        self.next = None
 
 
 class Machine:
@@ -53,7 +120,13 @@ class Machine:
         0.25 %, so current = power / voltage.
     correction:
         ``callable(machine) -> watts`` superlinear correction term.
+        Evaluated once per power-cache refresh (i.e. once per state
+        change), never per integration step.
     """
+
+    #: Fold the journal automatically once this many unfolded segments
+    #: accumulate, bounding both memory and worst-case fold latency.
+    AUTO_FOLD_SEGMENTS = 4096
 
     def __init__(self, sim, supply, voltage=16.0, correction=None,
                  timeline=None, scheduler=None):
@@ -70,16 +143,44 @@ class Machine:
         # Optional quantum scheduler (repro.sim.scheduler) replaces the
         # FIFO whole-burst CPU model with round-robin time-slicing.
         self.scheduler = scheduler
-        self._context_stack = [(IDLE_PROCESS, IDLE_PROCEDURE)]
+
+        # Execution context: a doubly-linked stack with a dict from
+        # token to node, so out-of-order pops are O(1) instead of a
+        # list scan.  The sentinel at the bottom is the kernel idle loop.
+        self._ctx_bottom = _ContextNode(0, IDLE_PROCESS, IDLE_PROCEDURE)
+        self._ctx_top = self._ctx_bottom
+        self._ctx_nodes = {}
         self._context_tokens = itertools.count(1)
-        self._token_stack = [0]
+        self._context = (IDLE_PROCESS, IDLE_PROCEDURE)
+
         self._overlays = {}
         self._overlay_tokens = itertools.count(1)
+        self._overlays_snapshot = ()
+
+        # Cached instantaneous power (piecewise constant between
+        # component changes).  Dirty until first read.
+        self._power = 0.0
+        self._correction_value = 0.0
+        self._comp_powers = ()
+        self._power_dirty = True
+
+        # Segment journal + lazily folded attribution accumulators.
+        self._journal = []
+        self._fold_index = 0
+        self._journal_pins = 0
+        self._folded_journal_energy = 0.0
+
         self._last_update = sim.now
         self.energy_total = 0.0
-        self.energy_by_process = {}
-        self.energy_by_procedure = {}
-        self.energy_by_component = {}
+        self._energy_by_process = {}
+        self._energy_by_procedure = {}
+        self._energy_by_component = {}
+
+        # The supply interface is fixed at construction; resolve the
+        # optional methods once instead of via getattr on every advance.
+        self._supply_drain = supply.drain
+        self._supply_note_power = getattr(supply, "note_power", None)
+        self._supply_recover = getattr(supply, "recover", None)
 
     # ------------------------------------------------------------------
     # composition
@@ -88,8 +189,10 @@ class Machine:
         """Add a component; its state changes now integrate energy first."""
         if component.name in self.components:
             raise HardwareError(f"duplicate component {component.name!r}")
+        self.advance()
         self.components[component.name] = component
-        component._pre_change = self.advance
+        component._pre_change = self.power_will_change
+        self._power_dirty = True
         if self.timeline is not None:
             component.observe(
                 lambda comp, old, new: self.timeline.record(
@@ -107,16 +210,48 @@ class Machine:
     # ------------------------------------------------------------------
     # instantaneous readings
     # ------------------------------------------------------------------
+    def _refresh_power(self):
+        """Recompute the cached total, correction, and component split."""
+        total = 0.0
+        comp_powers = []
+        for name, component in self.components.items():
+            watts = component.power
+            comp_powers.append((name, watts))
+            total += watts
+        self._comp_powers = tuple(comp_powers)
+        self._correction_value = self.correction(self)
+        self._power = total + self._correction_value
+        self._power_dirty = False
+
     @property
     def power(self):
-        """Instantaneous whole-machine draw in watts."""
-        total = sum(c.power for c in self.components.values())
-        return total + self.correction(self)
+        """Instantaneous whole-machine draw in watts (cached)."""
+        if self._power_dirty:
+            self._refresh_power()
+        return self._power
 
     @property
     def current(self):
         """Instantaneous current in amperes (what the multimeter samples)."""
         return self.power / self.voltage
+
+    def power_will_change(self):
+        """Integrate at the outgoing power, then invalidate the cache.
+
+        Components call this (via their ``_pre_change`` hook) *before*
+        any power-affecting mutation; the next :attr:`power` read — which
+        necessarily happens after the mutation — recomputes the cache.
+        """
+        self.advance()
+        self._power_dirty = True
+
+    def invalidate_power(self):
+        """Mark the cached power stale without integrating.
+
+        Prefer :meth:`power_will_change`; this exists for component
+        authors whose mutation already integrated through other means.
+        """
+        self._power_dirty = True
 
     # ------------------------------------------------------------------
     # execution context (who gets the energy)
@@ -124,24 +259,43 @@ class Machine:
     @property
     def context(self):
         """Current ``(process, procedure)`` attribution context."""
-        return self._context_stack[-1]
+        return self._context
 
     def push_context(self, process, procedure="main"):
         """Enter an attribution context; returns a token for pop."""
         self.advance()
         token = next(self._context_tokens)
-        self._context_stack.append((process, procedure))
-        self._token_stack.append(token)
+        node = _ContextNode(token, process, procedure)
+        node.prev = self._ctx_top
+        self._ctx_top.next = node
+        self._ctx_top = node
+        self._ctx_nodes[token] = node
+        self._context = (process, procedure)
         return token
 
     def pop_context(self, token):
-        """Leave a context previously entered with :meth:`push_context`."""
-        if token not in self._token_stack:
+        """Leave a context previously entered with :meth:`push_context`.
+
+        Pops may arrive out of order (concurrent activities interleave);
+        removing a non-top entry unlinks it without disturbing the rest
+        of the stack.
+        """
+        node = self._ctx_nodes.get(token)
+        if node is None:
             raise HardwareError("pop_context with unknown token")
         self.advance()
-        index = self._token_stack.index(token)
-        del self._context_stack[index]
-        del self._token_stack[index]
+        del self._ctx_nodes[token]
+        node.prev.next = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._ctx_top = node.prev
+        self._context = (self._ctx_top.process, self._ctx_top.procedure)
+
+    def overlay_snapshot(self):
+        """Current overlays as an immutable ``(fraction, process,
+        procedure)`` tuple, in insertion order."""
+        return self._overlays_snapshot
 
     def add_overlay(self, fraction, process, procedure="_interrupt"):
         """Attribute ``fraction`` of machine energy to ``process``.
@@ -156,6 +310,7 @@ class Machine:
         self.advance()
         handle = next(self._overlay_tokens)
         self._overlays[handle] = (fraction, process, procedure)
+        self._overlays_snapshot = tuple(self._overlays.values())
         return handle
 
     def remove_overlay(self, handle):
@@ -164,6 +319,7 @@ class Machine:
             raise HardwareError("remove_overlay with unknown handle")
         self.advance()
         del self._overlays[handle]
+        self._overlays_snapshot = tuple(self._overlays.values())
 
     # ------------------------------------------------------------------
     # energy integration
@@ -173,62 +329,149 @@ class Machine:
 
         Power is piecewise constant, so integration is exact provided
         this runs before every state, context, or overlay change —
-        which components and context methods guarantee.
+        which components and context methods guarantee.  The elapsed
+        span joins the segment journal: it extends the open segment
+        when nothing changed, and opens a new one otherwise.
         """
         now = self.sim.now
-        dt = now - self._last_update
+        t0 = self._last_update
+        dt = now - t0
         if dt <= 0.0:
             self._last_update = now
             return
         self._last_update = now
-        power = self.power
+        if self._power_dirty:
+            self._refresh_power()
+        power = self._power
         energy = power * dt
         self.energy_total += energy
         # Non-ideal supplies (Peukert, recovery) scale their drain by
         # the instantaneous draw and relax during light load.
-        note_power = getattr(self.supply, "note_power", None)
-        if note_power is not None:
-            note_power(power)
-        self.supply.drain(energy)
-        recover = getattr(self.supply, "recover", None)
-        if recover is not None:
-            recover(dt)
+        if self._supply_note_power is not None:
+            self._supply_note_power(power)
+        self._supply_drain(energy)
+        if self._supply_recover is not None:
+            self._supply_recover(dt)
 
-        # Per-component accounting (correction tracked as its own row).
-        for name, comp in self.components.items():
-            self.energy_by_component[name] = (
-                self.energy_by_component.get(name, 0.0) + comp.power * dt
-            )
-        correction = self.correction(self)
-        if correction:
-            self.energy_by_component["(superlinear)"] = (
-                self.energy_by_component.get("(superlinear)", 0.0) + correction * dt
-            )
+        journal = self._journal
+        if len(journal) > self._fold_index:
+            last = journal[-1]
+            if (last.power == power
+                    and last.context is self._context
+                    and last.overlays is self._overlays_snapshot
+                    and last.comp_powers is self._comp_powers):
+                last.t1 = now
+                return
+        journal.append(PowerSegment(
+            t0, now, power, self._context, self._overlays_snapshot,
+            self._comp_powers, self._correction_value,
+        ))
+        if (len(journal) - self._fold_index > self.AUTO_FOLD_SEGMENTS):
+            self._fold()
 
-        # Attribution: overlays first, remainder to the current context.
-        overlay_total = min(1.0, sum(f for f, _p, _pr in self._overlays.values()))
-        scale = 1.0
-        if overlay_total > 1.0:
-            scale = 1.0 / overlay_total
-        remaining = 1.0
-        for fraction, process, procedure in self._overlays.values():
-            share = min(fraction * scale, remaining)
-            remaining -= share
-            self._credit(process, procedure, energy * share)
-        if remaining > 0.0:
-            process, procedure = self.context
-            self._credit(process, procedure, energy * remaining)
+    # ------------------------------------------------------------------
+    # segment journal
+    # ------------------------------------------------------------------
+    @property
+    def journal(self):
+        """The live segment list (read-only by convention).
+
+        Folded segments are compacted away unless a reader holds a pin
+        (see :meth:`pin_journal`), so indices are only stable while
+        pinned.
+        """
+        return self._journal
+
+    def pin_journal(self):
+        """Keep folded segments in memory until :meth:`unpin_journal`.
+
+        Lazy samplers pin while running so they can replay every span
+        between their start and stop instants.
+        """
+        self._journal_pins += 1
+
+    def unpin_journal(self):
+        """Release a pin taken with :meth:`pin_journal`."""
+        if self._journal_pins <= 0:
+            raise HardwareError("unpin_journal without matching pin")
+        self._journal_pins -= 1
+
+    def journal_energy(self):
+        """Total joules recorded by the journal (folded + open spans)."""
+        total = self._folded_journal_energy
+        for segment in self._journal[self._fold_index:]:
+            total += segment.power * (segment.t1 - segment.t0)
+        return total
+
+    def _fold(self):
+        """Fold closed segments into the attribution accumulators.
+
+        Folding is idempotent per segment; once every pin is released
+        the folded prefix is discarded to bound memory.
+        """
+        journal = self._journal
+        end = len(journal)
+        if self._fold_index < end:
+            by_component = self._energy_by_component
+            for index in range(self._fold_index, end):
+                segment = journal[index]
+                dt = segment.t1 - segment.t0
+                energy = segment.power * dt
+                self._folded_journal_energy += energy
+                for name, watts in segment.comp_powers:
+                    by_component[name] = (
+                        by_component.get(name, 0.0) + watts * dt
+                    )
+                if segment.correction:
+                    by_component["(superlinear)"] = (
+                        by_component.get("(superlinear)", 0.0)
+                        + segment.correction * dt
+                    )
+                # Attribution: overlays first, remainder to the context.
+                remaining = 1.0
+                for fraction, process, procedure in segment.overlays:
+                    share = min(fraction, remaining)
+                    remaining -= share
+                    self._credit(process, procedure, energy * share)
+                if remaining > 0.0:
+                    process, procedure = segment.context
+                    self._credit(process, procedure, energy * remaining)
+            self._fold_index = end
+        if self._journal_pins == 0 and self._fold_index:
+            del journal[:self._fold_index]
+            self._fold_index = 0
 
     def _credit(self, process, procedure, joules):
         if joules <= 0.0:
             return
-        self.energy_by_process[process] = (
-            self.energy_by_process.get(process, 0.0) + joules
+        self._energy_by_process[process] = (
+            self._energy_by_process.get(process, 0.0) + joules
         )
         key = (process, procedure)
-        self.energy_by_procedure[key] = (
-            self.energy_by_procedure.get(key, 0.0) + joules
+        self._energy_by_procedure[key] = (
+            self._energy_by_procedure.get(key, 0.0) + joules
         )
+
+    # ------------------------------------------------------------------
+    # folded accounting views
+    # ------------------------------------------------------------------
+    @property
+    def energy_by_process(self):
+        """Joules per process, folded from the journal on access."""
+        self._fold()
+        return self._energy_by_process
+
+    @property
+    def energy_by_procedure(self):
+        """Joules per (process, procedure), folded on access."""
+        self._fold()
+        return self._energy_by_procedure
+
+    @property
+    def energy_by_component(self):
+        """Joules per component (plus the correction row), folded on access."""
+        self._fold()
+        return self._energy_by_component
 
     # ------------------------------------------------------------------
     # structured activity helpers

@@ -1,0 +1,371 @@
+"""Benchmark definitions, runner, and baseline comparison.
+
+Each benchmark is a function returning a metrics dict that includes
+``seconds`` (the min over its repeats — the noise-robust statistic).
+The ``calibration`` benchmark is a fixed pure-Python spin used to
+normalize timings between machines: a box that runs Python 1.4x slower
+runs every benchmark about 1.4x slower, so CI compares the *ratio* to
+calibration rather than raw seconds.
+
+The headline benchmark is ``fig22_longduration``: the Figure 22 bursty
+goal-directed run with a 600 Hz PowerScope collection attached, timed
+under both the eager (one simulator event per sample) and lazy
+(segment-journal fold) samplers.  It also asserts the two modes produce
+bit-identical profiles, so the speedup is never bought with accuracy.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+
+__all__ = [
+    "BENCH_NAMES",
+    "run_benchmarks",
+    "compare",
+    "render_bench_table",
+    "render_comparison",
+    "load_results",
+]
+
+#: Calibration spin iterations — constant across quick/full so the
+#: normalization is comparable between any two result files.
+_CALIBRATION_ITERS = 500_000
+
+
+class _BenchSupply:
+    """Unlimited supply: drains are counted but never refused."""
+
+    def __init__(self):
+        self.drained = 0.0
+
+    def drain(self, joules):
+        self.drained += joules
+
+
+def _best_of(fn, repeats):
+    """Run ``fn`` ``repeats`` times; return (min seconds, last result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# benchmark bodies
+# ----------------------------------------------------------------------
+#: Sub-second benchmarks repeat at least this often: their runtime is
+#: cheap but a single noisy trial would dominate a min-of-few.
+_MIN_CHEAP_REPEATS = 5
+
+
+def bench_calibration(quick, repeats):
+    def spin():
+        x = 0.0
+        for k in range(_CALIBRATION_ITERS):
+            x += k * 1e-9
+        return x
+
+    seconds, _ = _best_of(spin, max(repeats, _MIN_CHEAP_REPEATS))
+    return {"seconds": seconds, "iterations": _CALIBRATION_ITERS}
+
+
+def bench_engine_events(quick, repeats):
+    """Event scheduling/dispatch throughput, with cancellation churn."""
+    from repro.sim.engine import Simulator
+
+    events = 10_000 if quick else 50_000
+
+    def run():
+        sim = Simulator()
+        fired = [0]
+
+        def cb(_t):
+            fired[0] += 1
+
+        entries = []
+        for k in range(events):
+            entries.append(sim.schedule((k % 97) * 1e-3, cb))
+        # Cancel a tenth of them: exercises the tombstone path the
+        # samplers rely on when they stop.
+        for k in range(0, events, 10):
+            sim.cancel(entries[k])
+        sim.run()
+        return fired[0]
+
+    seconds, fired = _best_of(run, max(repeats, _MIN_CHEAP_REPEATS))
+    return {
+        "seconds": seconds,
+        "events": events,
+        "events_per_s": events / seconds if seconds else 0.0,
+        "fired": fired,
+    }
+
+
+def bench_machine_advance(quick, repeats):
+    """Energy integration: journal merge on the hot path, folds at the end.
+
+    Advances far outnumber state changes (as in real runs, where the
+    online monitor polls between context switches), so most iterations
+    extend the open segment in place; every eighth toggles the CPU and
+    opens a new one.  The clock is moved directly — the engine's own
+    cost is measured by ``engine_events``.
+    """
+    from repro.hardware.component import PowerComponent
+    from repro.hardware.machine import Machine
+    from repro.sim.engine import Simulator
+
+    steps = 5_000 if quick else 40_000
+
+    def run():
+        sim = Simulator()
+        machine = Machine(sim, supply=_BenchSupply(), voltage=16.0)
+        cpu = machine.attach(
+            PowerComponent("cpu", {"idle": 1.0, "busy": 4.0}, "idle")
+        )
+        busy = False
+        for k in range(steps):
+            sim.now += 0.01
+            if k % 8 == 0:
+                busy = not busy
+                cpu.set_state("busy" if busy else "idle")
+            else:
+                machine.advance()
+        machine.advance()
+        # Force the fold so its cost is inside the measurement.
+        return machine.energy_by_process, machine.energy_total
+
+    seconds, (_, energy_total) = _best_of(run, max(repeats, _MIN_CHEAP_REPEATS))
+    return {
+        "seconds": seconds,
+        "advances": steps,
+        "advances_per_s": steps / seconds if seconds else 0.0,
+        "energy_total": energy_total,
+    }
+
+
+def bench_figure_cell(quick, repeats):
+    """One fidelity-study cell: Figure 6 video at the combined config."""
+    from repro.experiments.fidelity_study import measure_video
+    from repro.workloads.videos import VIDEO_CLIPS
+
+    clip = VIDEO_CLIPS[0]
+
+    def run():
+        return measure_video(clip, "combined")
+
+    seconds, joules = _best_of(run, max(repeats, _MIN_CHEAP_REPEATS))
+    return {"seconds": seconds, "clip": clip.name, "joules": joules}
+
+
+def bench_fig22_longduration(quick, repeats):
+    """Figure 22 bursty run with 600 Hz profiling: eager vs lazy sampler.
+
+    Full mode uses the tier-2 benchmark's real trial parameters
+    (1980 s goal extended by 360 s at t=720 s), where the eager sampler
+    schedules and materializes ~1.4 million sample pairs; quick mode
+    shrinks the goal so CI stays fast, which also shrinks the reported
+    speedup (the fixed 60 s calibration probe dilutes a short run).
+    """
+    from repro.experiments.goal_study import run_bursty_experiment
+
+    goal = 90.0 if quick else 1980.0
+    extension = (30.0, 30.0) if quick else (720.0, 360.0)
+    # The full-mode trial pair costs ~30 s; cap repeats to keep the
+    # suite around a minute.
+    repeats = repeats if quick else min(repeats, 2)
+
+    def run(eager):
+        return run_bursty_experiment(
+            seed=1, goal_seconds=goal, extension=extension,
+            profile_rate_hz=600.0, profile_eager=eager,
+        )
+
+    eager_s, eager_result = _best_of(lambda: run(True), repeats)
+    lazy_s, lazy_result = _best_of(lambda: run(False), repeats)
+    identical = (
+        eager_result.profile.as_table() == lazy_result.profile.as_table()
+    )
+    return {
+        # `seconds` is the lazy (default-path) time: that is what a
+        # regression against the baseline should watch.
+        "seconds": lazy_s,
+        "eager_s": eager_s,
+        "lazy_s": lazy_s,
+        "speedup": eager_s / lazy_s if lazy_s else 0.0,
+        "tables_identical": identical,
+        "samples": lazy_result.profile.sample_count,
+        "goal_seconds": goal,
+    }
+
+
+_BENCHES = {
+    "calibration": bench_calibration,
+    "engine_events": bench_engine_events,
+    "machine_advance": bench_machine_advance,
+    "figure_cell": bench_figure_cell,
+    "fig22_longduration": bench_fig22_longduration,
+}
+
+BENCH_NAMES = tuple(_BENCHES)
+
+
+def run_benchmarks(quick=False, only=None, repeats=None):
+    """Run the suite; returns the result dict (the ``BENCH_core.json`` shape).
+
+    ``quick`` shrinks every workload for CI smoke use; ``only`` limits
+    to a subset of :data:`BENCH_NAMES` (calibration always runs, since
+    comparison needs it).  ``repeats`` overrides the default repeat
+    count (1 quick, 3 full); the reported time is the min over repeats.
+    """
+    if repeats is None:
+        repeats = 1 if quick else 3
+    selected = list(BENCH_NAMES) if not only else list(only)
+    for name in selected:
+        if name not in _BENCHES:
+            raise ValueError(
+                f"unknown benchmark {name!r}; choose from {BENCH_NAMES}"
+            )
+    if "calibration" not in selected:
+        selected.insert(0, "calibration")
+    benches = {}
+    for name in selected:
+        benches[name] = _BENCHES[name](quick, repeats)
+    return {"version": 1, "quick": bool(quick), "repeats": repeats,
+            "benches": benches}
+
+
+def load_results(path):
+    """Read a results file previously written by the CLI."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# baseline comparison
+# ----------------------------------------------------------------------
+def compare(current, baseline, max_regression=0.25, min_speedup=None):
+    """Compare a current run against a baseline run.
+
+    Returns ``(rows, failures)``.  Each row is a dict with the raw and
+    calibration-normalized ratio for one benchmark present in both
+    files; ``failures`` is a list of human-readable strings, empty when
+    the current run is acceptable.  A benchmark fails when its
+    normalized time exceeds the baseline by more than
+    ``max_regression`` (a fraction, 0.25 = 25 %).  ``min_speedup``
+    additionally enforces a floor on the fig22 eager/lazy speedup, and
+    the fig22 bit-identity flag must hold whenever that benchmark ran.
+    """
+    failures = []
+    cur_benches = current.get("benches", {})
+    base_benches = baseline.get("benches", {})
+    if bool(current.get("quick")) != bool(baseline.get("quick")):
+        failures.append(
+            "quick/full mismatch: current quick="
+            f"{bool(current.get('quick'))} vs baseline quick="
+            f"{bool(baseline.get('quick'))} — workloads are not comparable"
+        )
+    cur_cal = cur_benches.get("calibration", {}).get("seconds")
+    base_cal = base_benches.get("calibration", {}).get("seconds")
+    if not cur_cal or not base_cal:
+        failures.append("missing calibration benchmark; cannot normalize")
+        scale = 1.0
+    else:
+        scale = cur_cal / base_cal
+    rows = []
+    for name, base in base_benches.items():
+        if name == "calibration" or name not in cur_benches:
+            continue
+        base_s = base.get("seconds")
+        cur_s = cur_benches[name].get("seconds")
+        if not base_s or cur_s is None:
+            continue
+        ratio = cur_s / (base_s * scale)
+        regressed = ratio > 1.0 + max_regression
+        rows.append({
+            "name": name,
+            "baseline_s": base_s,
+            "current_s": cur_s,
+            "normalized_ratio": ratio,
+            "regressed": regressed,
+        })
+        if regressed:
+            failures.append(
+                f"{name}: {ratio:.2f}x the baseline after calibration "
+                f"(limit {1.0 + max_regression:.2f}x)"
+            )
+    fig22 = cur_benches.get("fig22_longduration")
+    if fig22 is not None:
+        if not fig22.get("tables_identical", True):
+            failures.append(
+                "fig22_longduration: lazy profile diverged from eager"
+            )
+        if min_speedup is not None and fig22.get("speedup", 0.0) < min_speedup:
+            failures.append(
+                f"fig22_longduration: speedup {fig22.get('speedup', 0.0):.2f}x "
+                f"below the {min_speedup:.2f}x floor"
+            )
+    return rows, failures
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _detail(name, metrics):
+    if name == "engine_events":
+        return f"{metrics['events_per_s']:,.0f} events/s"
+    if name == "machine_advance":
+        return f"{metrics['advances_per_s']:,.0f} advances/s"
+    if name == "figure_cell":
+        return f"{metrics['clip']}: {metrics['joules']:.1f} J"
+    if name == "fig22_longduration":
+        flag = "identical" if metrics["tables_identical"] else "DIVERGED"
+        return (f"eager {metrics['eager_s']:.3f}s / lazy "
+                f"{metrics['lazy_s']:.3f}s = {metrics['speedup']:.2f}x, "
+                f"profiles {flag}")
+    if name == "calibration":
+        return f"{metrics['iterations']:,} iterations"
+    return ""
+
+
+def render_bench_table(results):
+    """ASCII table of one run's timings."""
+    from repro.analysis import render_table
+
+    rows = [
+        [name, f"{metrics['seconds']:.4f}", _detail(name, metrics)]
+        for name, metrics in results["benches"].items()
+    ]
+    mode = "quick" if results.get("quick") else "full"
+    return render_table(
+        ["benchmark", "seconds (min)", "detail"], rows,
+        title=f"repro bench — {mode} mode, {results.get('repeats', 1)} repeat(s)",
+    )
+
+
+def render_comparison(rows, max_regression=0.25):
+    """ASCII table of a baseline comparison."""
+    from repro.analysis import render_table
+
+    table = [
+        [
+            row["name"],
+            f"{row['baseline_s']:.4f}",
+            f"{row['current_s']:.4f}",
+            f"{row['normalized_ratio']:.2f}x",
+            "REGRESSED" if row["regressed"] else "ok",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["benchmark", "baseline s", "current s", "normalized", "status"],
+        table,
+        title=f"vs baseline (fail above {1.0 + max_regression:.2f}x)",
+    )

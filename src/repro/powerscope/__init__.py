@@ -38,18 +38,20 @@ __all__ = [
 ]
 
 
-def profile_run(machine, until, rate_hz=600.0, seed=0, detail_process=None):
+def profile_run(machine, until, rate_hz=600.0, seed=0, detail_process=None,
+                eager=False):
     """Convenience: profile a machine while running its simulator.
 
     Starts a multimeter + system monitor pair, runs the simulation to
     ``until``, and returns the correlated :class:`EnergyProfile`.
+    ``eager=True`` schedules one event per sample (the historical
+    path); the default synthesizes the identical sample streams lazily
+    from the machine's segment journal.
     """
     monitor = SystemMonitor(machine, seed=seed)
-    meter = Multimeter(machine, rate_hz=rate_hz, monitor=monitor)
+    meter = Multimeter(machine, rate_hz=rate_hz, monitor=monitor, eager=eager)
     meter.start()
     machine.sim.run(until=until)
     meter.stop()
     machine.advance()
-    return correlate(
-        meter.samples, monitor.samples, machine.voltage, period=meter.period
-    )
+    return meter.profile()

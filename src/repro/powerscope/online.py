@@ -33,6 +33,7 @@ class OnlinePowerMonitor:
         self.last_power = 0.0
         self._running = False
         self._last_sample_time = None
+        self._entry = None
 
     def subscribe(self, callback):
         """Register ``callback(time, watts, dt)`` for every sample."""
@@ -44,11 +45,16 @@ class OnlinePowerMonitor:
             return
         self._running = True
         self._last_sample_time = self.sim.now
-        self.sim.schedule(self.period, self._tick)
+        self._entry = self.sim.schedule(self.period, self._tick)
 
     def stop(self):
-        """Stop sampling."""
+        """Stop sampling; the pending tick is cancelled, not orphaned."""
+        if not self._running:
+            return
         self._running = False
+        if self._entry is not None:
+            self.sim.cancel(self._entry)
+            self._entry = None
 
     def _tick(self, _time):
         if not self._running:
@@ -60,4 +66,4 @@ class OnlinePowerMonitor:
         self.last_power = self.machine.power
         for callback in self.subscribers:
             callback(now, self.last_power, dt)
-        self.sim.schedule(self.period, self._tick)
+        self._entry = self.sim.schedule(self.period, self._tick)

@@ -96,3 +96,27 @@ class EnergyProfile:
         """Procedure entries for a process, highest energy first."""
         detail = self.procedures.get(process, {})
         return sorted(detail.values(), key=lambda e: e.energy_joules, reverse=True)
+
+    def as_table(self):
+        """Nested plain-dict view of every accumulated number.
+
+        Exact (no rounding), so two profiles built from bit-identical
+        sample streams compare equal — the golden determinism tests and
+        ``python -m repro bench`` use this to assert the lazy sampler
+        reproduces the eager sampler's tables exactly.
+        """
+        return {
+            "elapsed": self.elapsed,
+            "sample_count": self.sample_count,
+            "processes": {
+                name: (entry.cpu_seconds, entry.energy_joules)
+                for name, entry in self.processes.items()
+            },
+            "procedures": {
+                process: {
+                    name: (entry.cpu_seconds, entry.energy_joules)
+                    for name, entry in detail.items()
+                }
+                for process, detail in self.procedures.items()
+            },
+        }

@@ -65,6 +65,7 @@ class SmartBatteryGauge:
         self._running = False
         self._window = []
         self._last_publish = None
+        self._entry = None
         if model_overhead:
             from repro.hardware.component import PowerComponent
 
@@ -83,11 +84,18 @@ class SmartBatteryGauge:
             return
         self._running = True
         self._last_publish = self.sim.now
-        self.sim.schedule(self.period / self.averaging_window, self._sample)
+        self._entry = self.sim.schedule(
+            self.period / self.averaging_window, self._sample
+        )
 
     def stop(self):
-        """Stop publishing readings."""
+        """Stop publishing readings; the pending tick is cancelled."""
+        if not self._running:
+            return
         self._running = False
+        if self._entry is not None:
+            self.sim.cancel(self._entry)
+            self._entry = None
 
     # -- internals --------------------------------------------------------
     def _quantize(self, watts):
@@ -110,4 +118,6 @@ class SmartBatteryGauge:
             self.readings += 1
             for callback in self.subscribers:
                 callback(now, reading, dt)
-        self.sim.schedule(self.period / self.averaging_window, self._sample)
+        self._entry = self.sim.schedule(
+            self.period / self.averaging_window, self._sample
+        )

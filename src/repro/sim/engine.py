@@ -103,6 +103,7 @@ class Simulator:
         self._heap = []
         self._sequence = itertools.count()
         self._processes = []
+        self._cancelled = set()
 
     # ------------------------------------------------------------------
     # scheduling
@@ -126,6 +127,17 @@ class Simulator:
         if delay < 0 and -delay <= self.SCHEDULE_AT_EPSILON * max(1.0, abs(self.now)):
             delay = 0.0
         return self.schedule(delay, callback)
+
+    def cancel(self, entry):
+        """Cancel a pending entry returned by :meth:`schedule`.
+
+        The cancellation is a lazy tombstone: the heap entry stays in
+        place and is discarded, without firing, when it reaches the top
+        of the queue.  Cancelling an entry that already fired (or was
+        already cancelled) is a no-op.  Periodic samplers use this so
+        that stopping them leaves no live callback in the heap.
+        """
+        self._cancelled.add(entry[1])
 
     def timeout(self, delay):
         """Return a :class:`Timeout` waitable firing ``delay`` seconds from now."""
@@ -155,15 +167,24 @@ class Simulator:
     # execution
     # ------------------------------------------------------------------
     def step(self):
-        """Execute the single next event; returns False if none remain."""
-        if not self._heap:
-            return False
-        when, _seq, callback = heapq.heappop(self._heap)
-        if when < self.now:
-            raise ProcessError("event heap corrupted: time ran backwards")
-        self.now = when
-        callback(when)
-        return True
+        """Execute the single next live event; returns False if none remain.
+
+        Cancelled entries surfacing at the top of the heap are discarded
+        without firing and without advancing the clock.
+        """
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            when, seq, callback = heapq.heappop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            if when < self.now:
+                raise ProcessError("event heap corrupted: time ran backwards")
+            self.now = when
+            callback(when)
+            return True
+        return False
 
     def run(self, until=None):
         """Run until the event queue drains or the clock reaches ``until``.
@@ -179,10 +200,15 @@ class Simulator:
         if until < self.now:
             raise SchedulingError(f"cannot run until {until} < now {self.now}")
         while self._heap and self._heap[0][0] <= until:
-            self.step()
+            if not self.step():
+                break
         self.now = until
         return self.now
 
     def peek(self):
-        """Time of the next scheduled event, or ``None`` if queue is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Time of the next live scheduled event, or ``None`` if none remain."""
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap and cancelled and heap[0][1] in cancelled:
+            cancelled.discard(heapq.heappop(heap)[1])
+        return heap[0][0] if heap else None

@@ -1,0 +1,92 @@
+"""Event cancellation: lazy tombstones in the simulator heap."""
+
+from repro.sim import Simulator
+
+
+class TestCancel:
+    def test_cancelled_entry_never_fires(self):
+        sim = Simulator()
+        fired = []
+        entry = sim.schedule(1.0, lambda t: fired.append(t))
+        sim.schedule(2.0, lambda t: fired.append(t))
+        sim.cancel(entry)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_cancel_does_not_advance_clock(self):
+        sim = Simulator()
+        entry = sim.schedule(5.0, lambda t: None)
+        sim.cancel(entry)
+        sim.run()
+        # The cancelled event is discarded without moving time to t=5.
+        assert sim.now == 0.0
+
+    def test_step_skips_cancelled_and_returns_false_when_drained(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, lambda t: fired.append("first"))
+        sim.schedule(2.0, lambda t: fired.append("second"))
+        sim.cancel(first)
+        assert sim.step() is True       # fires "second", skipping "first"
+        assert fired == ["second"]
+        assert sim.now == 2.0
+        assert sim.step() is False
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        entry = sim.schedule(1.0, lambda t: fired.append(t))
+        sim.run()
+        sim.cancel(entry)  # too late: already fired
+        later = sim.schedule(1.0, lambda t: fired.append(t))
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        entry = sim.schedule(1.0, lambda t: None)
+        sim.cancel(entry)
+        sim.cancel(entry)
+        sim.schedule(3.0, lambda t: None)
+        sim.run()
+        assert sim.now == 3.0
+
+    def test_peek_skips_cancelled_heads(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda t: None)
+        second = sim.schedule(2.0, lambda t: None)
+        sim.schedule(3.0, lambda t: None)
+        sim.cancel(first)
+        sim.cancel(second)
+        assert sim.peek() == 3.0
+
+    def test_peek_returns_none_when_only_cancelled_remain(self):
+        sim = Simulator()
+        entry = sim.schedule(1.0, lambda t: None)
+        sim.cancel(entry)
+        assert sim.peek() is None
+
+    def test_run_until_with_cancelled_events_reaches_horizon(self):
+        sim = Simulator()
+        fired = []
+        entry = sim.schedule(1.0, lambda t: fired.append(t))
+        sim.cancel(entry)
+        sim.run(until=4.0)
+        assert fired == []
+        assert sim.now == 4.0
+
+    def test_periodic_chain_stops_cleanly_when_cancelled(self):
+        """The sampler pattern: a self-rescheduling tick, cancelled once."""
+        sim = Simulator()
+        ticks = []
+        entry_box = []
+
+        def tick(t):
+            ticks.append(t)
+            entry_box.append(sim.schedule(1.0, tick))
+
+        entry_box.append(sim.schedule(1.0, tick))
+        sim.run(until=3.5)
+        sim.cancel(entry_box[-1])
+        sim.run()  # terminates: no live events remain
+        assert ticks == [1.0, 2.0, 3.0]
