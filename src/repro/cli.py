@@ -122,6 +122,70 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_trace(args):
+    """Run one experiment under a recording tracer and export everything."""
+    import os
+
+    from repro.obs import Tracer, installed
+    from repro.obs.export import (
+        join_power,
+        write_chrome_trace,
+        write_events_jsonl,
+        write_metrics,
+    )
+    from repro.obs.metrics import current_metrics
+
+    tracer = Tracer(
+        capacity=args.ring,
+        categories=set(args.categories) if args.categories else None,
+    )
+    with installed(tracer):
+        if args.experiment == "goal":
+            from repro.experiments import run_goal_experiment
+
+            result = run_goal_experiment(args.goal,
+                                         initial_energy=args.energy)
+            print(f"goal {result.goal_seconds:.0f}s: "
+                  f"{'MET' if result.goal_met else 'MISSED'} "
+                  f"(residual {result.residual_energy:.0f} J)")
+        elif args.experiment == "bursty":
+            from repro.experiments import run_bursty_experiment
+
+            result = run_bursty_experiment(args.seed, args.goal)
+            print(f"bursty goal {args.goal:.0f}s (seed {args.seed}): "
+                  f"{'MET' if result.goal_met else 'MISSED'}")
+        else:  # video
+            from repro.experiments import build_rig
+            from repro.workloads.videos import VideoClip
+
+            rig = build_rig()
+            clip = VideoClip("trace-clip", args.seconds, 12.0, 16_250)
+            rig.sim.spawn(rig.apps["video"].play(clip))
+            rig.sim.run(until=args.seconds)
+            print(f"video playback traced for {args.seconds:.0f}s "
+                  f"({rig.machine.finish():.0f} J)")
+        tracer.flush()
+
+    prefix = args.out
+    out_dir = os.path.dirname(prefix)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    events = list(tracer.events)
+    write_events_jsonl(events, prefix + ".jsonl")
+    print(f"wrote {prefix}.jsonl ({len(events)} events"
+          + (f", {tracer.dropped} dropped" if tracer.dropped else "") + ")")
+    write_chrome_trace(events, prefix + ".trace.json")
+    print(f"wrote {prefix}.trace.json (load at https://ui.perfetto.dev)")
+    write_metrics(current_metrics(), prefix + ".metrics.json")
+    print(f"wrote {prefix}.metrics.json")
+    joined = join_power(events)
+    resolved = sum(1 for j in joined if j["span"] is not None)
+    if joined:
+        print(f"event↔energy join: {resolved}/{len(joined)} events "
+              f"resolved to a power-journal span")
+    return 0
+
+
 def build_parser():
     """Build the argparse parser for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -130,6 +194,14 @@ def build_parser():
                     "applications' (SOSP 1999).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_flags(p):
+        """Flags shared by every experiment-running command."""
+        p.add_argument("--trace", default=None, metavar="PREFIX",
+                       help="record a trace of the run; writes "
+                            "PREFIX.jsonl and PREFIX.trace.json")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics snapshot as JSON")
 
     for fig, label in (
         ("fig06", "Figure 6 — video energy by fidelity"),
@@ -143,6 +215,7 @@ def build_parser():
         p.add_argument("--csv", help="also write the table as CSV")
         p.add_argument("--jobs", type=_positive_int, default=None,
                        help="run the table's cells on N fleet workers")
+        add_obs_flags(p)
 
     p = sub.add_parser("goal", help="run one goal-directed experiment")
     p.add_argument("--energy", type=float, default=6000.0,
@@ -154,6 +227,7 @@ def build_parser():
     p.add_argument("--csv", help="write the supply/demand/fidelity trace as CSV")
     p.add_argument("--no-chart", action="store_true",
                    help="skip the ASCII supply/demand chart")
+    add_obs_flags(p)
 
     p = sub.add_parser("profile", help="PowerScope profile of video playback")
     p.add_argument("--seconds", type=float, default=20.0)
@@ -161,6 +235,31 @@ def build_parser():
                    help="sampling rate in Hz")
     p.add_argument("--no-pm", action="store_true",
                    help="disable hardware power management")
+    add_obs_flags(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one experiment under the tracer and export JSONL, "
+             "Chrome trace JSON, and a metrics snapshot",
+    )
+    p.add_argument("experiment", choices=("goal", "bursty", "video"),
+                   help="which experiment to trace")
+    p.add_argument("--out", default="trace/run", metavar="PREFIX",
+                   help="output prefix (default trace/run → trace/run.jsonl, "
+                        "trace/run.trace.json, trace/run.metrics.json)")
+    p.add_argument("--ring", type=_positive_int, default=None,
+                   help="ring-buffer capacity (default: unbounded)")
+    p.add_argument("--categories", nargs="*", default=None,
+                   choices=("sim", "power", "core", "powerscope", "fleet"),
+                   help="restrict tracing to these categories")
+    p.add_argument("--goal", type=float, default=400.0,
+                   help="goal seconds (goal/bursty)")
+    p.add_argument("--energy", type=float, default=6000.0,
+                   help="initial energy in joules (goal)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (bursty)")
+    p.add_argument("--seconds", type=float, default=20.0,
+                   help="playback seconds (video)")
 
     p = sub.add_parser(
         "export-figures", help="write every figure's plot data as CSV"
@@ -210,6 +309,7 @@ def build_parser():
                    help="initial energy for the goal experiments")
     p.add_argument("--jobs", type=_positive_int, default=None,
                    help="run the fidelity tables on N fleet workers")
+    add_obs_flags(p)
 
     p = sub.add_parser(
         "sweep",
@@ -234,6 +334,9 @@ def build_parser():
                    help="print a line per finished task")
     p.add_argument("--csv-dir", default=None,
                    help="also write one CSV per application table")
+    p.add_argument("--telemetry-out", default=None, metavar="PATH",
+                   help="write the campaign telemetry snapshot as JSON")
+    add_obs_flags(p)
 
     return parser
 
@@ -312,6 +415,7 @@ def _cmd_bench(args):
 def _cmd_sweep(args):
     from repro.fleet import ProgressPrinter, run_sweep
 
+    printer = ProgressPrinter() if args.progress else None
     tables, result = run_sweep(
         apps=args.apps,
         jobs=args.jobs,
@@ -320,8 +424,10 @@ def _cmd_sweep(args):
         cache=args.cache_dir,
         timeout_s=args.timeout,
         retries=args.retries,
-        progress=ProgressPrinter() if args.progress else None,
+        progress=printer,
     )
+    if printer is not None:
+        printer.close()
     for app, table in tables.items():
         objects = list(next(iter(table.values())))
         rows = [
@@ -348,6 +454,14 @@ def _cmd_sweep(args):
             write_csv(path, energy_table_csv(means, objects))
             print(f"wrote {path}")
     print(result.telemetry.render())
+    if args.telemetry_out:
+        import json
+
+        with open(args.telemetry_out, "w", encoding="utf-8") as handle:
+            json.dump(result.telemetry.snapshot(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.telemetry_out}")
     for failure in result.failures:
         print(f"FAILED {failure.task_id} "
               f"(attempts {failure.attempts}): {failure.error}")
@@ -357,6 +471,37 @@ def _cmd_sweep(args):
 def main(argv=None):
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    trace_prefix = getattr(args, "trace", None)
+    if args.command != "trace" and trace_prefix:
+        import os
+
+        from repro.obs import Tracer, installed
+        from repro.obs.export import write_chrome_trace, write_events_jsonl
+
+        tracer = Tracer()
+        with installed(tracer):
+            code = _dispatch(args)
+            tracer.flush()
+        out_dir = os.path.dirname(trace_prefix)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        events = list(tracer.events)
+        write_events_jsonl(events, trace_prefix + ".jsonl")
+        write_chrome_trace(events, trace_prefix + ".trace.json")
+        print(f"wrote {trace_prefix}.jsonl and {trace_prefix}.trace.json "
+              f"({len(events)} events)")
+    else:
+        code = _dispatch(args)
+    if getattr(args, "metrics_out", None):
+        from repro.obs.export import write_metrics
+        from repro.obs.metrics import current_metrics
+
+        write_metrics(current_metrics(), args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    return code
+
+
+def _dispatch(args):
     if args.command == "fig06":
         from repro.experiments import video_energy_table
 
@@ -383,6 +528,8 @@ def main(argv=None):
         return _cmd_goal(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "export-figures":
         from repro.experiments import export_figures
 

@@ -132,6 +132,8 @@ class ExpectationMonitor:
         self.period = period
         self.checks = 0
         self._running = False
+        tracer = getattr(sim, "tracer", None)
+        self._trace = tracer.gate("core") if tracer is not None else None
 
     def start(self):
         if self._running:
@@ -148,5 +150,16 @@ class ExpectationMonitor:
         level = self.level_fn()
         if level is not None:
             self.checks += 1
-            self.registry.check(level)
+            notified = self.registry.check(level)
+            if notified and self._trace is not None:
+                for name in notified:
+                    self._trace.instant(
+                        self.sim.now, "core", "expectation.violation",
+                        track="expectations",
+                        args={
+                            "application": name,
+                            "resource": self.registry.resource_name,
+                            "level": level,
+                        },
+                    )
         self.sim.schedule(self.period, self._tick)

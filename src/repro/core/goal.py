@@ -77,6 +77,16 @@ class GoalDirectedController:
         self.last_upgrade_time = None
         self.decisions = 0
 
+        tracer = getattr(self.sim, "tracer", None)
+        self._trace = tracer.gate("core") if tracer is not None else None
+        self.metrics = viceroy.metrics
+        self._m_decisions = self.metrics.counter("goal.decisions")
+        self._m_infeasible = self.metrics.counter("goal.infeasible")
+        self._m_demand_ratio = self.metrics.histogram(
+            "goal.demand_ratio",
+            buckets=(0.5, 0.8, 0.9, 0.95, 1.0, 1.05, 1.1, 1.25, 2.0),
+        )
+
     # ------------------------------------------------------------------
     @property
     def time_remaining(self):
@@ -144,14 +154,35 @@ class GoalDirectedController:
             self.timeline.record(now, "energy", "supply", residual)
             self.timeline.record(now, "energy", "demand", demand)
         self.decisions += 1
+        self._m_decisions.inc()
+        if residual > 0.0:
+            self._m_demand_ratio.observe(demand / residual)
 
         action = self.trigger.decide(demand, residual)
+        trace = self._trace
+        if trace is not None:
+            trace.counter(now, "core", "supply_j", residual, track="goal")
+            trace.counter(now, "core", "demand_j", demand, track="goal")
+            trace.instant(
+                now, "core", f"decision.{action}", track="goal",
+                args={
+                    "supply": residual,
+                    "demand": demand,
+                    "power_span": self.viceroy._power_span(),
+                },
+            )
         if action == DEGRADE:
             upcall = self.viceroy.degrade_once()
             if upcall is None and not self.infeasible_reported:
                 # Everything is already at lowest fidelity yet demand
                 # still exceeds supply: the duration is infeasible.
                 self.infeasible_reported = True
+                self._m_infeasible.inc()
+                if trace is not None:
+                    trace.instant(
+                        now, "core", "infeasible", track="goal",
+                        args={"supply": residual, "demand": demand},
+                    )
                 if self.on_infeasible is not None:
                     self.on_infeasible(now, demand, residual)
         elif action == UPGRADE and self._upgrade_allowed(now):

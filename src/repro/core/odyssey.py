@@ -29,7 +29,13 @@ class Odyssey:
         self.machine = machine
         self.sim = machine.sim
         self.timeline = timeline if timeline is not None else Timeline()
-        self.viceroy = Viceroy(self.sim, timeline=self.timeline)
+        # The viceroy shares the machine's metrics registry and stamps
+        # its trace events with the machine's power-journal span ids.
+        self.viceroy = Viceroy(
+            self.sim, timeline=self.timeline, machine=machine,
+            metrics=getattr(machine, "metrics", None),
+        )
+        self.metrics = self.viceroy.metrics
         # Power source: the on-line PowerScope by default, or any object
         # with the same subscribe/start interface — e.g. the coarse
         # SmartBatteryGauge the paper proposes for deployment (§5.1.1).

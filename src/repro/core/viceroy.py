@@ -11,19 +11,33 @@ from __future__ import annotations
 from repro.core.priority import PriorityLadder
 from repro.core.upcalls import DEGRADE, UPGRADE, Upcall
 from repro.core.warden import WardenError
+from repro.obs.metrics import current_metrics
 
 __all__ = ["Viceroy"]
 
 
 class Viceroy:
-    """Warden registry + application registry + upcall delivery."""
+    """Warden registry + application registry + upcall delivery.
 
-    def __init__(self, sim, timeline=None):
+    When ``machine`` is supplied, every upcall and fidelity trace event
+    carries a ``power_span`` argument — the machine's journal span id
+    covering the instant — so traces join back to watts and joules
+    (see :mod:`repro.obs.export`).
+    """
+
+    def __init__(self, sim, timeline=None, machine=None, metrics=None):
         self.sim = sim
         self.timeline = timeline
+        self.machine = machine
         self.wardens = {}
         self.ladder = PriorityLadder()
         self.upcalls = []
+        tracer = getattr(sim, "tracer", None)
+        self._trace = tracer.gate("core") if tracer is not None else None
+        self.metrics = metrics if metrics is not None else current_metrics()
+        self._m_upcalls = self.metrics.counter("core.upcalls")
+        self._m_degrades = self.metrics.counter("core.upcalls.degrade")
+        self._m_upgrades = self.metrics.counter("core.upcalls.upgrade")
 
     # ------------------------------------------------------------------
     # registration
@@ -87,19 +101,43 @@ class Viceroy:
     def _log_upcall(self, kind, app, new_level):
         upcall = Upcall(self.sim.now, kind, app.name, new_level)
         self.upcalls.append(upcall)
+        self._m_upcalls.inc()
+        (self._m_degrades if kind == DEGRADE else self._m_upgrades).inc()
+        if self._trace is not None:
+            self._trace.instant(
+                self.sim.now, "core", f"upcall.{kind}", track=app.name,
+                args={
+                    "application": app.name,
+                    "level": new_level,
+                    "power_span": self._power_span(),
+                },
+            )
         self._record_fidelity(app)
         return upcall
 
+    def _power_span(self):
+        """Journal span id for event↔energy joins; None without a machine."""
+        machine = self.machine
+        return machine.power_span_id() if machine is not None else None
+
     def _record_fidelity(self, app):
+        level = getattr(app, "fidelity_level", None)
+        normalized = getattr(app, "fidelity_normalized", None)
+        level = level() if callable(level) else level
+        normalized = normalized() if callable(normalized) else normalized
+        if self._trace is not None:
+            self._trace.instant(
+                self.sim.now, "core", "fidelity", track=app.name,
+                args={
+                    "application": app.name,
+                    "level": level,
+                    "normalized": normalized,
+                    "power_span": self._power_span(),
+                },
+            )
         if self.timeline is not None:
-            level = getattr(app, "fidelity_level", None)
-            normalized = getattr(app, "fidelity_normalized", None)
             self.timeline.record(
-                self.sim.now,
-                "fidelity",
-                app.name,
-                (level() if callable(level) else level,
-                 normalized() if callable(normalized) else normalized),
+                self.sim.now, "fidelity", app.name, (level, normalized),
             )
 
     # ------------------------------------------------------------------

@@ -37,6 +37,8 @@ except ImportError:  # pragma: no cover
 from repro.fleet.cache import ResultCache
 from repro.fleet.telemetry import FleetTelemetry
 from repro.fleet.worker import run_task
+from repro.obs.metrics import current_metrics
+from repro.obs.tracer import current_tracer
 
 __all__ = ["FleetRunner", "TaskResult", "CampaignResult"]
 
@@ -135,7 +137,8 @@ class FleetRunner:
     """
 
     def __init__(self, jobs=None, timeout_s=None, retries=2,
-                 backoff_s=0.05, cache=None, progress=None):
+                 backoff_s=0.05, cache=None, progress=None,
+                 tracer=None, metrics=None):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
@@ -148,12 +151,26 @@ class FleetRunner:
             cache = ResultCache(cache)
         self.cache = cache
         self.progress = progress
+        # Tracing happens at the coordinator (pool workers are separate
+        # processes) with wall-clock timestamps on the "fleet" category.
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self._trace = self.tracer.gate("fleet")
+        self.metrics = metrics if metrics is not None else current_metrics()
+        self._m_events = {
+            OK: self.metrics.counter("fleet.tasks_ok"),
+            CACHED: self.metrics.counter("fleet.tasks_cached"),
+            FAILED: self.metrics.counter("fleet.tasks_failed"),
+            "retry": self.metrics.counter("fleet.retries"),
+        }
+        self._m_task_wall = self.metrics.histogram("fleet.task_wall_s")
 
     # ------------------------------------------------------------------
     def run(self, spec):
         """Execute every task; returns a :class:`CampaignResult`."""
         telemetry = FleetTelemetry(total=len(spec.tasks))
         started = time.monotonic()
+        trace = self._trace
+        campaign_t0 = self.tracer.wall() if trace is not None else 0.0
         results = {}
         pending = []
         for task in spec.tasks:
@@ -175,11 +192,29 @@ class FleetRunner:
                 self._run_pool(pending, results, telemetry)
 
         telemetry.wall_s = time.monotonic() - started
+        if trace is not None:
+            trace.complete(
+                campaign_t0, "fleet", "campaign", dur=telemetry.wall_s,
+                track="campaign",
+                args={"name": spec.name, **telemetry.snapshot()},
+            )
         ordered = tuple(results[task.id] for task in spec.tasks)
         return CampaignResult(spec=spec, results=ordered, telemetry=telemetry)
 
     # ------------------------------------------------------------------
     def _emit(self, event, task_id, telemetry, detail=None):
+        counter = self._m_events.get(event)
+        if counter is not None:
+            counter.inc()
+        if self._trace is not None and event != OK:
+            # OK tasks get a complete-span from _record_success instead.
+            args = {"task": task_id, "done": telemetry.done}
+            if detail:
+                args["detail"] = detail
+            self._trace.instant(
+                self.tracer.wall(), "fleet", f"task.{event}",
+                track="tasks", args=args,
+            )
         if self.progress is not None:
             self.progress(event, task_id, telemetry, detail)
 
@@ -190,6 +225,14 @@ class FleetRunner:
         )
         telemetry.succeeded += 1
         telemetry.busy_s += outcome["wall_s"]
+        self._m_task_wall.observe(outcome["wall_s"])
+        if self._trace is not None:
+            end = self.tracer.wall()
+            self._trace.complete(
+                max(0.0, end - outcome["wall_s"]), "fleet", "task",
+                dur=outcome["wall_s"], track="tasks",
+                args={"task": task.id, "attempts": attempt},
+            )
         if self.cache is not None and task.cacheable:
             self.cache.put(task.key(), {
                 "fn": task.fn,

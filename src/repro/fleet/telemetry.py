@@ -40,12 +40,27 @@ class FleetTelemetry:
     def queued(self):
         return max(0, self.total - self.done - self.running)
 
+    #: Below this wall time the busy/wall ratio is numerically
+    #: meaningless (clock granularity dominates), so no speedup is
+    #: estimated.
+    MIN_WALL_S = 1e-3
+
     @property
     def speedup_estimate(self):
-        """Estimated speedup vs running the executed work serially."""
-        if self.wall_s <= 0.0:
+        """Estimated speedup vs running the executed work serially.
+
+        Returns 0.0 when the campaign's wall time is too short to
+        divide by meaningfully — in particular for cache-dominated
+        runs that finish in microseconds (see :attr:`from_cache`).
+        """
+        if self.wall_s < self.MIN_WALL_S:
             return 0.0
         return self.busy_s / self.wall_s
+
+    @property
+    def from_cache(self):
+        """True when every completed task was served from cache."""
+        return self.cached > 0 and self.executed == 0
 
     def snapshot(self):
         return {
@@ -60,6 +75,8 @@ class FleetTelemetry:
             "attempts": self.attempts,
             "busy_s": self.busy_s,
             "wall_s": self.wall_s,
+            "speedup_estimate": self.speedup_estimate,
+            "from_cache": self.from_cache,
         }
 
     def render(self):
@@ -69,24 +86,49 @@ class FleetTelemetry:
             f"cached {self.cached}  failed {self.failed}  "
             f"retries {self.retried}  wall {self.wall_s:.2f}s"
         )
-        if self.succeeded:
-            line += (
-                f"  busy {self.busy_s:.2f}s"
-                f"  est. speedup {self.speedup_estimate:.1f}x"
-            )
+        if self.from_cache:
+            line += "  (from cache)"
+        elif self.succeeded:
+            line += f"  busy {self.busy_s:.2f}s"
+            speedup = self.speedup_estimate
+            if speedup > 0.0:
+                line += f"  est. speedup {speedup:.1f}x"
         return line
 
 
 @dataclass
 class ProgressPrinter:
-    """Per-task progress lines: ``[done/total] ok map/cropped (0.3s)``."""
+    """Per-task progress: ``[done/total] ok map/cropped (0.3s)``.
+
+    On a TTY, updates rewrite one line in place (``\\r``); call
+    :meth:`close` when the campaign finishes to terminate it.  On a
+    non-TTY stream (a CI log, a pipe) each update is a plain full line,
+    so redirected output stays readable instead of one giant
+    carriage-return soup.
+    """
 
     stream: object = field(default_factory=lambda: sys.stderr)
 
+    def __post_init__(self):
+        isatty = getattr(self.stream, "isatty", None)
+        self._tty = bool(isatty()) if callable(isatty) else False
+        self._open_line = False
+
     def __call__(self, event, task_id, telemetry, detail=None):
         suffix = f" ({detail})" if detail else ""
-        print(
-            f"[{telemetry.done}/{telemetry.total}] {event} {task_id}{suffix}",
-            file=self.stream,
-            flush=True,
+        line = (
+            f"[{telemetry.done}/{telemetry.total}] {event} {task_id}{suffix}"
         )
+        if self._tty:
+            self.stream.write(f"\r\x1b[2K{line}")
+            self.stream.flush()
+            self._open_line = True
+        else:
+            print(line, file=self.stream, flush=True)
+
+    def close(self):
+        """Terminate an in-place progress line (no-op on non-TTY)."""
+        if self._open_line:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._open_line = False

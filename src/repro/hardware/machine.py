@@ -51,6 +51,7 @@ from __future__ import annotations
 import itertools
 
 from repro.hardware.component import HardwareError
+from repro.obs.metrics import current_metrics
 from repro.sim.resources import Resource
 
 __all__ = ["Machine", "PowerSegment", "IDLE_PROCESS", "IDLE_PROCEDURE"]
@@ -64,14 +65,16 @@ class PowerSegment:
 
     ``context``, ``overlays`` and ``comp_powers`` are immutable
     snapshots taken when the span opened; ``t1`` extends in place while
-    the machine's state stays unchanged.
+    the machine's state stays unchanged.  ``sid`` is the machine-unique
+    segment id — the join key between trace events and the joules the
+    span cost (see :mod:`repro.obs.export`).
     """
 
     __slots__ = ("t0", "t1", "power", "context", "overlays",
-                 "comp_powers", "correction")
+                 "comp_powers", "correction", "sid")
 
     def __init__(self, t0, t1, power, context, overlays, comp_powers,
-                 correction):
+                 correction, sid=0):
         self.t0 = t0
         self.t1 = t1
         self.power = power
@@ -79,6 +82,7 @@ class PowerSegment:
         self.overlays = overlays
         self.comp_powers = comp_powers
         self.correction = correction
+        self.sid = sid
 
     @property
     def duration(self):
@@ -129,7 +133,7 @@ class Machine:
     AUTO_FOLD_SEGMENTS = 4096
 
     def __init__(self, sim, supply, voltage=16.0, correction=None,
-                 timeline=None, scheduler=None):
+                 timeline=None, scheduler=None, metrics=None):
         self.sim = sim
         self.supply = supply
         self.voltage = voltage
@@ -169,6 +173,20 @@ class Machine:
         self._fold_index = 0
         self._journal_pins = 0
         self._folded_journal_energy = 0.0
+        self._sid = 0  # last assigned segment id (1-based, monotonic)
+
+        # Observability (repro.obs): the "power" trace gate emits one
+        # complete-event per closed journal segment plus a watts
+        # counter series; metrics default to the process-wide registry.
+        tracer = getattr(sim, "tracer", None)
+        self._trace = tracer.gate("power") if tracer is not None else None
+        self._last_emitted_sid = 0
+        if self._trace is not None:
+            self._trace.add_flush_hook(self.trace_flush)
+        self.metrics = metrics if metrics is not None else current_metrics()
+        self._m_segments = self.metrics.counter("machine.segments")
+        self._m_folds = self.metrics.counter("machine.folds")
+        self._m_energy = self.metrics.gauge("machine.energy_j")
 
         self._last_update = sim.now
         self.energy_total = 0.0
@@ -362,10 +380,17 @@ class Machine:
                     and last.comp_powers is self._comp_powers):
                 last.t1 = now
                 return
+        trace = self._trace
+        if trace is not None:
+            if journal:
+                self._trace_segment(journal[-1])
+            trace.counter(t0, "power", "watts", power, track="watts")
+        self._sid += 1
         journal.append(PowerSegment(
             t0, now, power, self._context, self._overlays_snapshot,
-            self._comp_powers, self._correction_value,
+            self._comp_powers, self._correction_value, sid=self._sid,
         ))
+        self._m_segments.inc()
         if (len(journal) - self._fold_index > self.AUTO_FOLD_SEGMENTS):
             self._fold()
 
@@ -437,9 +462,64 @@ class Machine:
                     process, procedure = segment.context
                     self._credit(process, procedure, energy * remaining)
             self._fold_index = end
+            self._m_folds.inc()
+            self._m_energy.set(self.energy_total)
         if self._journal_pins == 0 and self._fold_index:
+            if self._trace is not None:
+                # The open segment is about to be compacted away; emit
+                # it now or its span is lost (closed predecessors were
+                # emitted at append time — the sid guard skips them).
+                self._trace_segment(journal[self._fold_index - 1])
             del journal[:self._fold_index]
             self._fold_index = 0
+
+    # ------------------------------------------------------------------
+    # tracing (repro.obs)
+    # ------------------------------------------------------------------
+    def _trace_segment(self, segment):
+        """Emit one ``power/span`` complete-event per journal segment.
+
+        Idempotent via the monotonic sid guard: a segment may reach
+        here when its successor is appended, when the fold compacts it
+        away, or from the tracer's flush hook — it is emitted once.
+        """
+        if segment.sid <= self._last_emitted_sid:
+            return
+        self._last_emitted_sid = segment.sid
+        dur = segment.t1 - segment.t0
+        process, procedure = segment.context
+        self._trace.complete(
+            segment.t0, "power", "span", dur=dur, track="machine",
+            args={
+                "sid": segment.sid,
+                "watts": segment.power,
+                "joules": segment.power * dur,
+                "process": process,
+                "procedure": procedure,
+            },
+        )
+
+    def power_span_id(self):
+        """The journal span id covering the current instant.
+
+        Instrumented call sites stamp events with this sid as their
+        ``power_span`` argument — the join key back to the watts and
+        joules of the covering segment (:func:`repro.obs.export.join_power`).
+        When no span is open yet the *next* sid is returned, a forward
+        reference to the segment that will cover this instant.
+        """
+        self.advance()
+        journal = self._journal
+        return journal[-1].sid if journal else self._sid + 1
+
+    def trace_flush(self):
+        """Tracer flush hook: emit the still-open tail journal segment."""
+        if self._trace is None:
+            return
+        self.advance()
+        journal = self._journal
+        if journal:
+            self._trace_segment(journal[-1])
 
     def _credit(self, process, procedure, joules):
         if joules <= 0.0:
@@ -518,6 +598,7 @@ class Machine:
     def finish(self):
         """Integrate up to the current instant and return total joules."""
         self.advance()
+        self._m_energy.set(self.energy_total)
         return self.energy_total
 
     def energy_report(self):

@@ -1,0 +1,274 @@
+"""Exporters: JSONL events, Chrome trace-event JSON, metrics snapshots.
+
+Three output formats, all built from the same recorded event stream:
+
+* **JSONL** — one JSON object per event, in emit order.  The stable
+  machine-readable format; :func:`read_events_jsonl` round-trips it and
+  :func:`join_power` runs the event↔energy join against it.
+* **Chrome trace-event JSON** — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Domain seconds
+  map to microseconds; each category becomes a process, each track a
+  thread, so the sim engine, the power signal, every application's
+  upcalls, and the fleet coordinator render as separate swim lanes.
+  Counter events (supply/demand joules, machine watts) render as
+  time-series tracks.
+* **Metrics snapshot** — the :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot dict as JSON.
+
+The event↔energy join
+---------------------
+The machine emits one ``power/span`` complete-event per closed journal
+segment, carrying the segment id (``sid``), watts, and joules.  Core
+events (upcalls, fidelity moves, goal decisions) carry a ``power_span``
+argument — the sid of the journal span covering the instant they fired.
+:func:`power_spans` indexes the former; :func:`join_power` annotates the
+latter, answering "what was the machine drawing — and what did that
+span cost in joules — when this decision happened", the PowerScope
+correlation story applied to our own simulator.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "write_metrics",
+    "power_spans",
+    "join_power",
+]
+
+#: Chrome trace-event phases this exporter emits / the validator accepts.
+_PHASES = frozenset("IBEXCM")
+
+
+def _as_dict(event):
+    return event if isinstance(event, dict) else event.to_dict()
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_events_jsonl(events, path):
+    """Write one JSON object per event, in emit order; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(_as_dict(event), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_events_jsonl(path):
+    """Load a JSONL event log back into a list of dicts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(events):
+    """Convert events to the Chrome trace-event JSON object format.
+
+    Categories map to processes and tracks to threads (named via ``M``
+    metadata events); ``ts``/``dur`` convert from seconds to
+    microseconds.  Within each track, events are sorted by timestamp,
+    so a trace assembled from several sources (or several simulators)
+    still satisfies per-track monotonicity.
+    """
+    records = [_as_dict(e) for e in events]
+    pids = {}
+    tids = {}
+    for record in records:
+        cat = record.get("cat") or "trace"
+        track = record.get("track") or cat
+        if cat not in pids:
+            pids[cat] = len(pids) + 1
+        if (cat, track) not in tids:
+            tids[(cat, track)] = sum(1 for c, _t in tids if c == cat) + 1
+
+    trace_events = []
+    for cat, pid in pids.items():
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": pid,
+            "args": {"name": cat},
+        })
+    for (cat, track), tid in tids.items():
+        trace_events.append({
+            "ph": "M", "name": "thread_name", "pid": pids[cat], "tid": tid,
+            "args": {"name": track},
+        })
+
+    def sort_key(indexed):
+        index, record = indexed
+        cat = record.get("cat") or "trace"
+        track = record.get("track") or cat
+        return (pids[cat], tids[(cat, track)], record["ts"], index)
+
+    for _index, record in sorted(enumerate(records), key=sort_key):
+        cat = record.get("cat") or "trace"
+        track = record.get("track") or cat
+        entry = {
+            "name": record["name"],
+            "cat": cat,
+            "ph": record["ph"],
+            "ts": record["ts"] * 1e6,
+            "pid": pids[cat],
+            "tid": tids[(cat, track)],
+        }
+        if record["ph"] == "X":
+            entry["dur"] = (record.get("dur") or 0.0) * 1e6
+        args = record.get("args")
+        if args is not None:
+            entry["args"] = args
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events, path):
+    """Validate and write the Chrome trace JSON; returns the event count.
+
+    Raises :class:`ValueError` listing the problems if the generated
+    trace would not satisfy :func:`validate_chrome_trace` — an invalid
+    trace on disk is worse than a loud failure.
+    """
+    trace = chrome_trace(events)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise ValueError(
+            "generated Chrome trace is invalid: " + "; ".join(problems)
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+        handle.write("\n")
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_trace(trace):
+    """Check a Chrome trace object; returns a list of problem strings.
+
+    Enforced: the ``traceEvents`` envelope, per-event required keys
+    (``name``/``ph``, plus ``ts``/``pid``/``tid`` for non-metadata
+    events and a non-negative ``dur`` for complete events), a known
+    phase, and non-decreasing ``ts`` within each ``(pid, tid)`` track.
+    An empty list means the trace is valid.
+    """
+    problems = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["top-level object must be a dict with a 'traceEvents' list"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    last_ts = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "name" not in event:
+            problems.append(f"{where}: missing 'name'")
+        if ph == "M":
+            if "pid" not in event or "name" not in event.get("args", {}):
+                problems.append(f"{where}: metadata event needs pid and "
+                                f"args.name")
+            continue
+        missing = [key for key in ("ts", "pid", "tid") if key not in event]
+        if missing:
+            problems.append(f"{where}: missing {', '.join(missing)}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: ts must be a number, got {ts!r}")
+            continue
+        if ph == "X" and event.get("dur", 0) < 0:
+            problems.append(f"{where}: negative dur")
+        key = (event["pid"], event["tid"])
+        previous = last_ts.get(key)
+        if previous is not None and ts < previous:
+            problems.append(
+                f"{where}: ts {ts} goes backwards on track {key} "
+                f"(previous {previous})"
+            )
+        last_ts[key] = ts
+    return problems
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def write_metrics(registry_or_snapshot, path):
+    """Write a metrics snapshot (or a registry's snapshot) as JSON."""
+    snapshot = registry_or_snapshot
+    if hasattr(snapshot, "snapshot"):
+        snapshot = snapshot.snapshot()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# the event↔energy join
+# ----------------------------------------------------------------------
+def power_spans(events):
+    """Index the machine's journal-span events by segment id.
+
+    Returns ``{sid: {"t0", "dur", "watts", "joules", "process",
+    "procedure"}}`` built from the ``power/span`` complete-events the
+    machine emits as journal segments close.
+    """
+    spans = {}
+    for event in events:
+        record = _as_dict(event)
+        if record.get("cat") != "power" or record.get("name") != "span":
+            continue
+        args = record.get("args") or {}
+        sid = args.get("sid")
+        if sid is None:
+            continue
+        spans[sid] = {
+            "t0": record["ts"],
+            "dur": record.get("dur", 0.0),
+            "watts": args.get("watts"),
+            "joules": args.get("joules"),
+            "process": args.get("process"),
+            "procedure": args.get("procedure"),
+        }
+    return spans
+
+
+def join_power(events):
+    """Join events carrying a ``power_span`` reference to their span.
+
+    Returns a list of ``{"event": <event dict>, "span": <span dict or
+    None>}`` — one entry per event whose args include ``power_span``.
+    A ``None`` span means the referenced segment never closed inside
+    the recorded window (e.g. the tracer's flush hook did not run).
+    """
+    spans = power_spans(events)
+    joined = []
+    for event in events:
+        record = _as_dict(event)
+        args = record.get("args") or {}
+        if "power_span" not in args:
+            continue
+        joined.append({
+            "event": record,
+            "span": spans.get(args["power_span"]),
+        })
+    return joined

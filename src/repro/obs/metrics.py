@@ -1,0 +1,174 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named collection of instruments with a
+JSON-serializable :meth:`~MetricsRegistry.snapshot`.  The machine, the
+Odyssey core, and the fleet runner each expose one (``Machine.metrics``,
+``Odyssey.metrics``, ``FleetRunner.metrics``); by default they share the
+process-wide registry returned by :func:`current_metrics`, which is what
+the CLI's ``--metrics-out`` flag dumps.
+
+Instruments are deliberately tiny — an increment is one attribute add —
+so hot paths can update them unconditionally.  Histograms use *fixed*
+bucket boundaries chosen at creation, so snapshots from different runs
+(or different workers) are mergeable bucket-by-bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_metrics",
+    "set_metrics",
+]
+
+#: Default histogram boundaries: spans microbenchmark-scale to
+#: minute-scale durations (seconds) and small ratios alike.
+DEFAULT_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+    def __repr__(self):
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative-friendly bucket counts.
+
+    ``buckets`` are upper bounds; an observation lands in the first
+    bucket whose bound is >= the value, or in the implicit overflow
+    bucket past the last bound.  Boundaries are fixed at creation so
+    two snapshots of the same histogram are mergeable element-wise.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name, buckets=DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram buckets must be strictly increasing, got {buckets}"
+            )
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value):
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self):
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class MetricsRegistry:
+    """Get-or-create access to named instruments, plus snapshotting."""
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, name, kind, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory()
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name):
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name):
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS):
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def __contains__(self, name):
+        return name in self._instruments
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def snapshot(self):
+        """JSON-serializable dump: ``{counters, gauges, histograms}``."""
+        counters, gauges, histograms = {}, {}, {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = {
+                    "buckets": list(instrument.buckets),
+                    "counts": list(instrument.counts),
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def reset(self):
+        """Drop every instrument (tests; fresh CLI runs)."""
+        self._instruments.clear()
+
+
+_default = MetricsRegistry()
+
+
+def current_metrics():
+    """The process-wide default registry."""
+    return _default
+
+
+def set_metrics(registry):
+    """Replace the process-wide default; returns the previous registry."""
+    global _default
+    previous = _default
+    _default = registry if registry is not None else MetricsRegistry()
+    return previous

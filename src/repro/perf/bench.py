@@ -206,12 +206,67 @@ def bench_fig22_longduration(quick, repeats):
     }
 
 
+def bench_tracer_overhead(quick, repeats):
+    """Cost of the disabled tracer on the engine + accounting hot paths.
+
+    Runs the same scheduling/dispatch/advance workload twice: with the
+    default null tracer (what every untraced run pays — the gated
+    ``is not None`` checks) and with a recording :class:`Tracer`
+    installed.  ``seconds`` is the *disabled* time: the overhead
+    contract says instrumentation must cost (almost) nothing when off,
+    and CI gates this benchmark at 3 % instead of the global threshold
+    (see :data:`PER_BENCH_MAX_REGRESSION`).
+    """
+    from repro.hardware.component import PowerComponent
+    from repro.hardware.machine import Machine
+    from repro.obs.tracer import Tracer, installed
+    from repro.sim.engine import Simulator
+
+    steps = 5_000 if quick else 40_000
+
+    def run():
+        sim = Simulator()
+        machine = Machine(sim, supply=_BenchSupply(), voltage=16.0)
+        cpu = machine.attach(
+            PowerComponent("cpu", {"idle": 1.0, "busy": 4.0}, "idle")
+        )
+
+        def toggle(k):
+            def cb(_t):
+                cpu.set_state("busy" if k % 2 else "idle")
+            return cb
+
+        for k in range(steps):
+            sim.schedule(k * 1e-3, toggle(k) if k % 8 == 0
+                         else (lambda _t: machine.advance()))
+        sim.run()
+        return machine.finish()
+
+    disabled_s, _ = _best_of(run, max(repeats, _MIN_CHEAP_REPEATS))
+
+    def traced():
+        with installed(Tracer()):
+            return run()
+
+    enabled_s, _ = _best_of(traced, max(repeats, _MIN_CHEAP_REPEATS))
+    return {
+        # `seconds` is the disabled-path time: the 3 % CI gate watches
+        # the cost instrumentation adds to *untraced* runs.
+        "seconds": disabled_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "enabled_ratio": enabled_s / disabled_s if disabled_s else 0.0,
+        "steps": steps,
+    }
+
+
 _BENCHES = {
     "calibration": bench_calibration,
     "engine_events": bench_engine_events,
     "machine_advance": bench_machine_advance,
     "figure_cell": bench_figure_cell,
     "fig22_longduration": bench_fig22_longduration,
+    "tracer_overhead": bench_tracer_overhead,
 }
 
 BENCH_NAMES = tuple(_BENCHES)
@@ -251,6 +306,14 @@ def load_results(path):
 # ----------------------------------------------------------------------
 # baseline comparison
 # ----------------------------------------------------------------------
+#: Benchmarks with a tighter regression limit than the global
+#: ``--max-regression``.  The disabled-tracer path is an explicit
+#: overhead contract (see repro.obs.tracer), so its budget is 3 %.
+PER_BENCH_MAX_REGRESSION = {
+    "tracer_overhead": 0.03,
+}
+
+
 def compare(current, baseline, max_regression=0.25, min_speedup=None):
     """Compare a current run against a baseline run.
 
@@ -259,13 +322,16 @@ def compare(current, baseline, max_regression=0.25, min_speedup=None):
     files; ``failures`` is a list of human-readable strings, empty when
     the current run is acceptable.  A benchmark fails when its
     normalized time exceeds the baseline by more than
-    ``max_regression`` (a fraction, 0.25 = 25 %).  ``min_speedup``
-    additionally enforces a floor on the fig22 eager/lazy speedup, and
-    the fig22 bit-identity flag must hold whenever that benchmark ran.
+    ``max_regression`` (a fraction, 0.25 = 25 %); benchmarks listed in
+    :data:`PER_BENCH_MAX_REGRESSION` use their tighter limit instead.
+    ``min_speedup`` additionally enforces a floor on the fig22
+    eager/lazy speedup, and the fig22 bit-identity flag must hold
+    whenever that benchmark ran.
     """
     failures = []
     cur_benches = current.get("benches", {})
     base_benches = baseline.get("benches", {})
+    per_bench = PER_BENCH_MAX_REGRESSION
     if bool(current.get("quick")) != bool(baseline.get("quick")):
         failures.append(
             "quick/full mismatch: current quick="
@@ -288,18 +354,20 @@ def compare(current, baseline, max_regression=0.25, min_speedup=None):
         if not base_s or cur_s is None:
             continue
         ratio = cur_s / (base_s * scale)
-        regressed = ratio > 1.0 + max_regression
+        limit = min(max_regression, per_bench.get(name, max_regression))
+        regressed = ratio > 1.0 + limit
         rows.append({
             "name": name,
             "baseline_s": base_s,
             "current_s": cur_s,
             "normalized_ratio": ratio,
             "regressed": regressed,
+            "limit": limit,
         })
         if regressed:
             failures.append(
                 f"{name}: {ratio:.2f}x the baseline after calibration "
-                f"(limit {1.0 + max_regression:.2f}x)"
+                f"(limit {1.0 + limit:.2f}x)"
             )
     fig22 = cur_benches.get("fig22_longduration")
     if fig22 is not None:
@@ -330,6 +398,10 @@ def _detail(name, metrics):
         return (f"eager {metrics['eager_s']:.3f}s / lazy "
                 f"{metrics['lazy_s']:.3f}s = {metrics['speedup']:.2f}x, "
                 f"profiles {flag}")
+    if name == "tracer_overhead":
+        return (f"disabled {metrics['disabled_s']:.3f}s / enabled "
+                f"{metrics['enabled_s']:.3f}s "
+                f"({metrics['enabled_ratio']:.2f}x when recording)")
     if name == "calibration":
         return f"{metrics['iterations']:,} iterations"
     return ""
@@ -360,12 +432,14 @@ def render_comparison(rows, max_regression=0.25):
             f"{row['baseline_s']:.4f}",
             f"{row['current_s']:.4f}",
             f"{row['normalized_ratio']:.2f}x",
+            f"{1.0 + row.get('limit', max_regression):.2f}x",
             "REGRESSED" if row["regressed"] else "ok",
         ]
         for row in rows
     ]
     return render_table(
-        ["benchmark", "baseline s", "current s", "normalized", "status"],
+        ["benchmark", "baseline s", "current s", "normalized", "limit",
+         "status"],
         table,
-        title=f"vs baseline (fail above {1.0 + max_regression:.2f}x)",
+        title=f"vs baseline (default fail above {1.0 + max_regression:.2f}x)",
     )

@@ -128,6 +128,8 @@ class Multimeter:
         self._cursor = 0         # lazy: index into the pinned journal
         self._pinned = False
         self._stop_horizon = None  # lazy: frozen horizon of a stopped window
+        tracer = getattr(self.sim, "tracer", None)
+        self._trace = tracer.gate("powerscope") if tracer is not None else None
         if monitor is not None:
             monitor._meter = self
 
@@ -136,6 +138,11 @@ class Multimeter:
         if self._running:
             return
         self._running = True
+        if self._trace is not None:
+            self._trace.instant(
+                self.sim.now, "powerscope", "meter.start", track="multimeter",
+                args={"rate_hz": 1.0 / self.period, "eager": self.eager},
+            )
         if self.eager:
             self._entry = self.sim.schedule(self.period, self._tick)
             return
@@ -172,6 +179,11 @@ class Multimeter:
             self.machine.advance()
             self._stop_horizon = self.sim.now
         self._running = False
+        if self._trace is not None:
+            self._trace.instant(
+                self.sim.now, "powerscope", "meter.stop", track="multimeter",
+                args={"materialized": len(self._samples)},
+            )
 
     def _release_pin(self):
         if self._pinned:
@@ -289,6 +301,11 @@ class Multimeter:
             self._release_pin()
         prof.sample_count = total
         prof.elapsed = total * period
+        if self._trace is not None:
+            self._trace.instant(
+                self.sim.now, "powerscope", "profile.fold", track="multimeter",
+                args={"samples": total, "energy_j": prof.total_energy},
+            )
         return prof
 
     def _fold_pending(self, prof, horizon):

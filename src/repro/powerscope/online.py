@@ -34,6 +34,8 @@ class OnlinePowerMonitor:
         self._running = False
         self._last_sample_time = None
         self._entry = None
+        tracer = getattr(self.sim, "tracer", None)
+        self._trace = tracer.gate("powerscope") if tracer is not None else None
 
     def subscribe(self, callback):
         """Register ``callback(time, watts, dt)`` for every sample."""
@@ -45,6 +47,11 @@ class OnlinePowerMonitor:
             return
         self._running = True
         self._last_sample_time = self.sim.now
+        if self._trace is not None:
+            self._trace.instant(
+                self.sim.now, "powerscope", "online.start", track="online",
+                args={"period": self.period},
+            )
         self._entry = self.sim.schedule(self.period, self._tick)
 
     def stop(self):
@@ -55,6 +62,11 @@ class OnlinePowerMonitor:
         if self._entry is not None:
             self.sim.cancel(self._entry)
             self._entry = None
+        if self._trace is not None:
+            self._trace.instant(
+                self.sim.now, "powerscope", "online.stop", track="online",
+                args={"last_power": self.last_power},
+            )
 
     def _tick(self, _time):
         if not self._running:

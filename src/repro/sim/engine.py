@@ -19,6 +19,7 @@ import heapq
 import itertools
 import math
 
+from repro.obs.tracer import current_tracer
 from repro.sim.errors import ProcessError, SchedulingError
 
 __all__ = ["Simulator", "Waitable", "Timeout", "Event"]
@@ -98,12 +99,19 @@ class Simulator:
     [2.5]
     """
 
-    def __init__(self, start_time=0.0):
+    def __init__(self, start_time=0.0, tracer=None):
         self.now = float(start_time)
         self._heap = []
         self._sequence = itertools.count()
         self._processes = []
         self._cancelled = set()
+        # Tracing (repro.obs): explicit tracer, else the process-wide
+        # installed one (the null tracer unless e.g. the CLI's --trace
+        # installed a recorder).  The gate is None when the "sim"
+        # category is off, so the per-event cost of disabled tracing is
+        # one attribute load and one branch.
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self._trace = self.tracer.gate("sim")
 
     # ------------------------------------------------------------------
     # scheduling
@@ -138,6 +146,10 @@ class Simulator:
         that stopping them leaves no live callback in the heap.
         """
         self._cancelled.add(entry[1])
+        trace = self._trace
+        if trace is not None:
+            trace.instant(self.now, "sim", "cancel", track="engine",
+                          args={"seq": entry[1], "due": entry[0]})
 
     def timeout(self, delay):
         """Return a :class:`Timeout` waitable firing ``delay`` seconds from now."""
@@ -174,14 +186,21 @@ class Simulator:
         """
         heap = self._heap
         cancelled = self._cancelled
+        trace = self._trace
         while heap:
             when, seq, callback = heapq.heappop(heap)
             if cancelled and seq in cancelled:
                 cancelled.discard(seq)
+                if trace is not None:
+                    trace.instant(self.now, "sim", "tombstone",
+                                  track="engine", args={"seq": seq})
                 continue
             if when < self.now:
                 raise ProcessError("event heap corrupted: time ran backwards")
             self.now = when
+            if trace is not None:
+                trace.instant(when, "sim", "dispatch", track="engine",
+                              args={"seq": seq})
             callback(when)
             return True
         return False

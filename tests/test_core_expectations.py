@@ -1,0 +1,139 @@
+"""Window-edge and upcall-loop tests for the expectations API (Section 2.2)."""
+
+import pytest
+
+from repro.core.expectations import (
+    ExpectationError,
+    ExpectationMonitor,
+    ExpectationRegistry,
+    ResourceWindow,
+)
+from repro.obs import Tracer
+from repro.sim import Simulator
+
+
+class TestResourceWindow:
+    def test_bounds_are_inclusive(self):
+        window = ResourceWindow(10.0, 20.0)
+        assert window.contains(10.0)
+        assert window.contains(20.0)
+        assert window.contains(15.0)
+        assert not window.contains(9.999)
+        assert not window.contains(20.001)
+
+    def test_degenerate_point_window(self):
+        window = ResourceWindow(5.0, 5.0)
+        assert window.contains(5.0)
+        assert not window.contains(5.1)
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ExpectationError):
+            ResourceWindow(-1.0, 5.0)
+        with pytest.raises(ExpectationError):
+            ResourceWindow(10.0, 5.0)
+
+
+class TestRegistry:
+    def test_violation_delivers_upcall_and_reregisters(self):
+        registry = ExpectationRegistry("bandwidth")
+        seen = []
+
+        def upcall(level, window):
+            seen.append((level, window))
+            return ResourceWindow(0.0, level * 2)
+
+        registry.register("app", ResourceWindow(100.0, 200.0), upcall)
+        assert registry.check(50.0) == ["app"]
+        assert seen == [(50.0, ResourceWindow(100.0, 200.0))]
+        # The upcall's returned window is now the active expectation.
+        assert registry.window_of("app") == ResourceWindow(0.0, 100.0)
+        assert registry.check(50.0) == []
+        assert registry.upcalls_delivered == 1
+
+    def test_upcall_returning_none_keeps_window(self):
+        registry = ExpectationRegistry("bandwidth")
+        registry.register("app", ResourceWindow(100.0, 200.0),
+                          lambda level, window: None)
+        registry.check(50.0)
+        registry.check(50.0)
+        assert registry.window_of("app") == ResourceWindow(100.0, 200.0)
+        assert registry.upcalls_delivered == 2
+
+    def test_upcall_returning_junk_raises(self):
+        registry = ExpectationRegistry("bandwidth")
+        registry.register("app", ResourceWindow(100.0, 200.0),
+                          lambda level, window: "not a window")
+        with pytest.raises(ExpectationError):
+            registry.check(50.0)
+
+    def test_register_requires_window_type(self):
+        registry = ExpectationRegistry("bandwidth")
+        with pytest.raises(ExpectationError):
+            registry.register("app", (0.0, 1.0), lambda level, window: None)
+
+    def test_level_on_edge_is_not_a_violation(self):
+        registry = ExpectationRegistry("bandwidth")
+        registry.register("app", ResourceWindow(100.0, 200.0),
+                          lambda level, window: None)
+        assert registry.check(100.0) == []
+        assert registry.check(200.0) == []
+
+    def test_unregister_stops_upcalls(self):
+        registry = ExpectationRegistry("bandwidth")
+        registry.register("app", ResourceWindow(100.0, 200.0),
+                          lambda level, window: None)
+        registry.unregister("app")
+        assert registry.check(0.0) == []
+        assert registry.window_of("app") is None
+
+
+class TestMonitor:
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        registry = ExpectationRegistry("bandwidth")
+        with pytest.raises(ExpectationError):
+            ExpectationMonitor(sim, registry, lambda: 1.0, period=0.0)
+
+    def test_checks_on_cadence_until_stopped(self):
+        sim = Simulator()
+        registry = ExpectationRegistry("bandwidth")
+        monitor = ExpectationMonitor(sim, registry, lambda: 150.0, period=1.0)
+        registry.register("app", ResourceWindow(100.0, 200.0),
+                          lambda level, window: None)
+        monitor.start()
+        sim.schedule(5.5, lambda _t: monitor.stop())
+        sim.run(until=10.0)
+        assert monitor.checks == 5  # ticks at 1..5; stop at 5.5 ends it
+
+    def test_none_level_skips_check(self):
+        sim = Simulator()
+        registry = ExpectationRegistry("bandwidth")
+        monitor = ExpectationMonitor(sim, registry, lambda: None, period=1.0)
+        monitor.start()
+        sim.run(until=3.5)
+        assert monitor.checks == 0
+
+    def test_double_start_schedules_once(self):
+        sim = Simulator()
+        registry = ExpectationRegistry("bandwidth")
+        monitor = ExpectationMonitor(sim, registry, lambda: 1.0, period=1.0)
+        monitor.start()
+        monitor.start()
+        sim.run(until=2.5)
+        assert monitor.checks == 2
+
+    def test_violations_traced(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        registry = ExpectationRegistry("bandwidth")
+        monitor = ExpectationMonitor(sim, registry, lambda: 10.0, period=1.0)
+        registry.register("app", ResourceWindow(100.0, 200.0),
+                          lambda level, window: None)
+        monitor.start()
+        sim.run(until=2.5)
+        violations = [e for e in tracer.events
+                      if e.name == "expectation.violation"]
+        assert len(violations) == 2
+        assert violations[0].args["application"] == "app"
+        assert violations[0].args["resource"] == "bandwidth"
+        assert violations[0].args["level"] == 10.0

@@ -1,0 +1,102 @@
+"""Edge-case tests for the AdaptationTrigger hysteresis (Section 5.1.3)."""
+
+import pytest
+
+from repro.core.hysteresis import DEGRADE, HOLD, UPGRADE, AdaptationTrigger
+
+
+class TestValidation:
+    def test_initial_energy_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdaptationTrigger(0.0)
+        with pytest.raises(ValueError):
+            AdaptationTrigger(-10.0)
+
+    def test_fractions_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            AdaptationTrigger(100.0, variable_fraction=-0.01)
+        with pytest.raises(ValueError):
+            AdaptationTrigger(100.0, constant_fraction=-0.01)
+
+    def test_safety_fraction_range(self):
+        with pytest.raises(ValueError):
+            AdaptationTrigger(100.0, safety_fraction=-0.1)
+        with pytest.raises(ValueError):
+            AdaptationTrigger(100.0, safety_fraction=1.0)
+        AdaptationTrigger(100.0, safety_fraction=0.0)  # boundary ok
+        AdaptationTrigger(100.0, safety_fraction=0.999)
+
+
+class TestDegradeBoundary:
+    def test_demand_above_residual_degrades(self):
+        trigger = AdaptationTrigger(1000.0)
+        assert trigger.decide(501.0, 500.0) == DEGRADE
+
+    def test_demand_equal_residual_holds(self):
+        # Strictly-greater comparison: equality is not yet a crisis.
+        trigger = AdaptationTrigger(1000.0)
+        assert trigger.decide(500.0, 500.0) == HOLD
+
+    def test_safety_fraction_shifts_the_boundary(self):
+        trigger = AdaptationTrigger(1000.0, safety_fraction=0.03)
+        # Demand compared against 97% of residual.
+        assert trigger.decide(971.0, 1000.0) == DEGRADE
+        assert trigger.decide(970.0, 1000.0) == HOLD
+
+
+class TestUpgradeMargin:
+    def test_margin_is_variable_plus_constant(self):
+        trigger = AdaptationTrigger(
+            1000.0, variable_fraction=0.05, constant_fraction=0.01
+        )
+        # 5% of residual + 1% of initial = 25 + 10 = 35 J at residual 500.
+        assert trigger.upgrade_margin(500.0) == pytest.approx(35.0)
+
+    def test_negative_residual_contributes_no_variable_margin(self):
+        trigger = AdaptationTrigger(
+            1000.0, variable_fraction=0.05, constant_fraction=0.01
+        )
+        assert trigger.upgrade_margin(-50.0) == pytest.approx(10.0)
+
+    def test_surplus_equal_to_margin_holds(self):
+        trigger = AdaptationTrigger(
+            1000.0, variable_fraction=0.05, constant_fraction=0.01
+        )
+        residual = 500.0
+        margin = trigger.upgrade_margin(residual)
+        assert trigger.decide(residual - margin, residual) == HOLD
+
+    def test_surplus_above_margin_upgrades(self):
+        trigger = AdaptationTrigger(
+            1000.0, variable_fraction=0.05, constant_fraction=0.01
+        )
+        residual = 500.0
+        margin = trigger.upgrade_margin(residual)
+        assert trigger.decide(residual - margin - 0.01, residual) == UPGRADE
+
+    def test_scarce_energy_biases_against_upgrades(self):
+        # The variable component shrinks with residual, but the constant
+        # component (1% of *initial*) keeps a floor, so at low residual a
+        # proportionally identical surplus no longer triggers an upgrade.
+        trigger = AdaptationTrigger(
+            10_000.0, variable_fraction=0.05, constant_fraction=0.01
+        )
+        assert trigger.decide(9_000.0 * 0.93, 9_000.0) == UPGRADE
+        assert trigger.decide(90.0 * 0.93, 90.0) == HOLD
+
+
+class TestHysteresisBand:
+    def test_band_between_degrade_and_upgrade_holds(self):
+        trigger = AdaptationTrigger(1000.0)
+        residual = 800.0
+        margin = trigger.upgrade_margin(residual)
+        for demand in (residual, residual - margin / 2, residual - margin):
+            assert trigger.decide(demand, residual) == HOLD
+
+    def test_zero_fractions_collapse_the_band(self):
+        trigger = AdaptationTrigger(
+            1000.0, variable_fraction=0.0, constant_fraction=0.0
+        )
+        assert trigger.decide(500.0, 500.0) == HOLD  # exact balance
+        assert trigger.decide(499.999, 500.0) == UPGRADE
+        assert trigger.decide(500.001, 500.0) == DEGRADE

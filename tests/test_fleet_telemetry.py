@@ -1,0 +1,113 @@
+"""Tests for FleetTelemetry edge cases and the TTY-aware ProgressPrinter."""
+
+import io
+
+from repro.fleet import FleetTelemetry, ProgressPrinter
+
+
+class TestSpeedupEstimate:
+    def test_normal_ratio(self):
+        telemetry = FleetTelemetry(total=4, succeeded=4,
+                                   busy_s=8.0, wall_s=2.0)
+        assert telemetry.speedup_estimate == 4.0
+
+    def test_sub_millisecond_wall_reports_no_speedup(self):
+        # A cache-dominated campaign finishes in microseconds; dividing
+        # busy time by that produces absurd "speedups".
+        telemetry = FleetTelemetry(total=4, succeeded=1,
+                                   busy_s=5.0, wall_s=5e-4)
+        assert telemetry.speedup_estimate == 0.0
+
+    def test_zero_wall_reports_no_speedup(self):
+        assert FleetTelemetry(busy_s=5.0, wall_s=0.0).speedup_estimate == 0.0
+
+
+class TestFromCache:
+    def test_all_cached_is_from_cache(self):
+        telemetry = FleetTelemetry(total=3, cached=3, wall_s=1e-5)
+        assert telemetry.from_cache
+        line = telemetry.render()
+        assert "(from cache)" in line
+        assert "speedup" not in line
+
+    def test_mixed_run_is_not_from_cache(self):
+        telemetry = FleetTelemetry(total=3, cached=2, succeeded=1,
+                                   busy_s=1.0, wall_s=0.5)
+        assert not telemetry.from_cache
+        assert "speedup" in telemetry.render()
+
+    def test_empty_run_is_not_from_cache(self):
+        assert not FleetTelemetry(total=0).from_cache
+
+    def test_short_executed_run_omits_speedup_but_keeps_busy(self):
+        telemetry = FleetTelemetry(total=1, succeeded=1,
+                                   busy_s=0.0004, wall_s=0.0005)
+        line = telemetry.render()
+        assert "busy" in line
+        assert "speedup" not in line
+
+    def test_snapshot_includes_derived_fields(self):
+        telemetry = FleetTelemetry(total=2, cached=2, wall_s=1e-5)
+        snap = telemetry.snapshot()
+        assert snap["from_cache"] is True
+        assert snap["speedup_estimate"] == 0.0
+        assert snap["total"] == 2
+
+
+class _TtyStream(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestProgressPrinter:
+    def test_non_tty_prints_full_lines(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        telemetry = FleetTelemetry(total=2)
+        telemetry.succeeded = 1
+        printer("ok", "a", telemetry, "0.1s")
+        telemetry.succeeded = 2
+        printer("ok", "b", telemetry)
+        printer.close()  # no-op off-TTY
+        output = stream.getvalue()
+        assert output == "[1/2] ok a (0.1s)\n[2/2] ok b\n"
+        assert "\r" not in output
+
+    def test_tty_rewrites_in_place(self):
+        stream = _TtyStream()
+        printer = ProgressPrinter(stream=stream)
+        telemetry = FleetTelemetry(total=2)
+        telemetry.succeeded = 1
+        printer("ok", "a", telemetry)
+        telemetry.succeeded = 2
+        printer("ok", "b", telemetry)
+        output = stream.getvalue()
+        assert output.count("\r") == 2
+        assert "\n" not in output
+        printer.close()
+        assert stream.getvalue().endswith("[2/2] ok b\n")
+
+    def test_close_idempotent(self):
+        stream = _TtyStream()
+        printer = ProgressPrinter(stream=stream)
+        printer("ok", "a", FleetTelemetry(total=1), None)
+        printer.close()
+        printer.close()
+        assert stream.getvalue().count("\n") == 1
+
+    def test_stream_without_isatty_treated_as_non_tty(self):
+        class Bare:
+            def __init__(self):
+                self.lines = []
+
+            def write(self, text):
+                self.lines.append(text)
+
+            def flush(self):
+                pass
+
+        stream = Bare()
+        printer = ProgressPrinter(stream=stream)
+        printer("ok", "a", FleetTelemetry(total=1), None)
+        assert any("ok a" in chunk for chunk in stream.lines)
+        assert not any("\r" in chunk for chunk in stream.lines)

@@ -1,0 +1,156 @@
+"""Tests for the repro.obs exporters and the Chrome-trace validator."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    chrome_trace,
+    join_power,
+    power_spans,
+    read_events_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics,
+)
+
+
+def _sample_tracer():
+    tracer = Tracer(clock=lambda: 0.0)
+    tracer.instant(0.0, "sim", "dispatch", track="engine", args={"seq": 1})
+    tracer.complete(0.0, "power", "span", dur=2.0, track="machine",
+                    args={"sid": 1, "watts": 5.0, "joules": 10.0,
+                          "process": "Idle", "procedure": "_kernel_idle"})
+    tracer.instant(1.0, "core", "upcall.degrade", track="video",
+                   args={"application": "video", "power_span": 1})
+    tracer.counter(1.5, "power", "watts", 5.0, track="watts")
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "events.jsonl"
+        count = write_events_jsonl(tracer.events, path)
+        assert count == 4
+        records = read_events_jsonl(path)
+        assert len(records) == 4
+        assert records[0]["name"] == "dispatch"
+        assert records[1]["dur"] == 2.0
+        assert records[2]["args"]["power_span"] == 1
+
+
+class TestChromeTrace:
+    def test_categories_become_processes_tracks_become_threads(self):
+        trace = chrome_trace(_sample_tracer().events)
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        process_names = {e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert process_names == {"sim", "power", "core"}
+        assert {"engine", "machine", "video", "watts"} <= thread_names
+        # Same category, different tracks -> same pid, different tid.
+        power = [e for e in events
+                 if e["ph"] != "M" and e["cat"] == "power"]
+        assert len({e["pid"] for e in power}) == 1
+        assert len({e["tid"] for e in power}) == 2
+
+    def test_ts_and_dur_scale_to_microseconds(self):
+        trace = chrome_trace(_sample_tracer().events)
+        span = next(e for e in trace["traceEvents"]
+                    if e.get("name") == "span")
+        assert span["dur"] == pytest.approx(2e6)
+        upcall = next(e for e in trace["traceEvents"]
+                      if e.get("name") == "upcall.degrade")
+        assert upcall["ts"] == pytest.approx(1e6)
+
+    def test_out_of_order_events_sorted_per_track(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.instant(2.0, "sim", "b", track="engine")
+        tracer.instant(1.0, "sim", "a", track="engine")
+        trace = chrome_trace(tracer.events)
+        assert not validate_chrome_trace(trace)
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "I"]
+        assert names == ["a", "b"]
+
+    def test_write_validates_and_emits_valid_json(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        count = write_chrome_trace(_sample_tracer().events, path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == count
+        assert not validate_chrome_trace(loaded)
+
+
+class TestValidator:
+    def test_envelope_required(self):
+        assert validate_chrome_trace([])
+        assert validate_chrome_trace({"events": []})
+        assert validate_chrome_trace({"traceEvents": "nope"})
+        assert not validate_chrome_trace({"traceEvents": []})
+
+    def test_unknown_phase_flagged(self):
+        bad = {"traceEvents": [
+            {"ph": "Z", "name": "x", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        assert any("unknown phase" in p for p in validate_chrome_trace(bad))
+
+    def test_missing_keys_flagged(self):
+        bad = {"traceEvents": [{"ph": "I", "name": "x", "ts": 0}]}
+        assert any("missing" in p for p in validate_chrome_trace(bad))
+        bad_meta = {"traceEvents": [{"ph": "M", "name": "process_name"}]}
+        assert validate_chrome_trace(bad_meta)
+
+    def test_backwards_ts_within_track_flagged(self):
+        bad = {"traceEvents": [
+            {"ph": "I", "name": "a", "ts": 5, "pid": 1, "tid": 1},
+            {"ph": "I", "name": "b", "ts": 4, "pid": 1, "tid": 1},
+        ]}
+        assert any("backwards" in p for p in validate_chrome_trace(bad))
+        # Different tracks are independent timelines.
+        ok = {"traceEvents": [
+            {"ph": "I", "name": "a", "ts": 5, "pid": 1, "tid": 1},
+            {"ph": "I", "name": "b", "ts": 4, "pid": 1, "tid": 2},
+        ]}
+        assert not validate_chrome_trace(ok)
+
+    def test_negative_dur_flagged(self):
+        bad = {"traceEvents": [
+            {"ph": "X", "name": "x", "ts": 0, "pid": 1, "tid": 1, "dur": -1},
+        ]}
+        assert any("negative dur" in p for p in validate_chrome_trace(bad))
+
+
+class TestPowerJoin:
+    def test_power_spans_indexes_by_sid(self):
+        spans = power_spans(_sample_tracer().events)
+        assert set(spans) == {1}
+        assert spans[1]["watts"] == 5.0
+        assert spans[1]["joules"] == 10.0
+        assert spans[1]["process"] == "Idle"
+
+    def test_join_resolves_power_span_references(self):
+        joined = join_power(_sample_tracer().events)
+        assert len(joined) == 1
+        assert joined[0]["event"]["name"] == "upcall.degrade"
+        assert joined[0]["span"]["watts"] == 5.0
+
+    def test_join_reports_unresolved_as_none(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.instant(0.0, "core", "x", args={"power_span": 99})
+        joined = join_power(tracer.events)
+        assert joined[0]["span"] is None
+
+
+class TestMetricsExport:
+    def test_accepts_registry_or_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        path = tmp_path / "metrics.json"
+        write_metrics(registry, path)
+        assert json.loads(path.read_text())["counters"]["c"] == 2
+        write_metrics({"counters": {"k": 1}}, path)
+        assert json.loads(path.read_text())["counters"]["k"] == 1
