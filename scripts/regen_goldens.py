@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Re-bless the golden decision spines under tests/goldens/.
+
+Run this ONLY when a controller behaviour change is intentional::
+
+    PYTHONPATH=src python scripts/regen_goldens.py [scenario ...]
+
+With no arguments every scenario in tests/golden_scenarios.py is
+regenerated; name scenarios to regenerate a subset.  Review the diff of
+the golden files before committing — each changed line is a decision
+the controller now takes differently, and ``python -m repro diff`` of
+before/after traces is the readable view of the same change.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+from repro.obs.diff import diff_spines, read_spine_jsonl, write_spine_jsonl  # noqa: E402
+from tests.golden_scenarios import (  # noqa: E402
+    GOLDEN_DIR,
+    SCENARIOS,
+    golden_path,
+    run_scenario,
+)
+
+
+def main(argv):
+    names = argv or sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)} "
+              f"(have: {', '.join(sorted(SCENARIOS))})", file=sys.stderr)
+        return 2
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in names:
+        path = golden_path(name)
+        spine = run_scenario(name)
+        if os.path.exists(path):
+            old = read_spine_jsonl(path)
+            diff = diff_spines(old, spine, label_a="old", label_b="new")
+            if diff.identical:
+                print(f"{name}: unchanged ({len(spine)} decisions)")
+                continue
+            print(f"{name}: {len(diff.windows)} divergence window(s) "
+                  f"vs previous golden:")
+            print("  " + diff.render().replace("\n", "\n  "))
+        count = write_spine_jsonl(spine, path)
+        print(f"{name}: wrote {path} ({count} decisions)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

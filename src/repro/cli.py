@@ -12,6 +12,8 @@ code:
   as CSV
 * ``python -m repro sweep --jobs 4 --trials 5`` — the fidelity studies
   as one parallel, cached fleet campaign
+* ``python -m repro diff a.jsonl b.jsonl`` — decision divergence and
+  per-window energy deltas between two traced runs
 * ``python -m repro bench`` — hot-path micro-benchmarks; with
   ``--compare BENCH_core.json`` a CI regression gate
 
@@ -126,25 +128,38 @@ def _cmd_trace(args):
     """Run one experiment under a recording tracer and export everything."""
     import os
 
-    from repro.obs import Tracer, installed
+    from repro.obs import JsonlSink, Tracer, installed
     from repro.obs.export import (
         join_power,
+        join_summary,
+        read_events_jsonl,
         write_chrome_trace,
         write_events_jsonl,
         write_metrics,
     )
     from repro.obs.metrics import current_metrics
 
+    prefix = args.out
+    out_dir = os.path.dirname(prefix)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    sink = JsonlSink(prefix + ".jsonl") if args.stream else None
     tracer = Tracer(
         capacity=args.ring,
         categories=set(args.categories) if args.categories else None,
+        sink=sink,
     )
     with installed(tracer):
         if args.experiment == "goal":
             from repro.experiments import run_goal_experiment
 
+            controller_kwargs = {}
+            if args.no_hysteresis:
+                controller_kwargs = {"variable_fraction": 0.0,
+                                     "constant_fraction": 0.0}
             result = run_goal_experiment(args.goal,
-                                         initial_energy=args.energy)
+                                         initial_energy=args.energy,
+                                         **controller_kwargs)
             print(f"goal {result.goal_seconds:.0f}s: "
                   f"{'MET' if result.goal_met else 'MISSED'} "
                   f"(residual {result.residual_energy:.0f} J)")
@@ -166,23 +181,68 @@ def _cmd_trace(args):
                   f"({rig.machine.finish():.0f} J)")
         tracer.flush()
 
-    prefix = args.out
-    out_dir = os.path.dirname(prefix)
-    if out_dir:
-        os.makedirs(out_dir, exist_ok=True)
-    events = list(tracer.events)
-    write_events_jsonl(events, prefix + ".jsonl")
-    print(f"wrote {prefix}.jsonl ({len(events)} events"
-          + (f", {tracer.dropped} dropped" if tracer.dropped else "") + ")")
+    if sink is not None:
+        # The sink streamed every event to disk as it was emitted;
+        # read the complete log back so the Chrome trace and the join
+        # cover events the ring buffer may have evicted.
+        sink.close()
+        events = read_events_jsonl(prefix + ".jsonl")
+        print(f"streamed {prefix}.jsonl ({sink.count} events)")
+    else:
+        events = list(tracer.events)
+        write_events_jsonl(events, prefix + ".jsonl")
+        print(f"wrote {prefix}.jsonl ({len(events)} events"
+              + (f", {tracer.dropped} dropped" if tracer.dropped else "")
+              + ")")
     write_chrome_trace(events, prefix + ".trace.json")
     print(f"wrote {prefix}.trace.json (load at https://ui.perfetto.dev)")
     write_metrics(current_metrics(), prefix + ".metrics.json")
     print(f"wrote {prefix}.metrics.json")
     joined = join_power(events)
-    resolved = sum(1 for j in joined if j["span"] is not None)
     if joined:
-        print(f"event↔energy join: {resolved}/{len(joined)} events "
-              f"resolved to a power-journal span")
+        summary = join_summary(joined)
+        print(f"event↔energy join: {summary['resolved']}/{summary['total']} "
+              f"events resolved to a power-journal span")
+        if summary["unresolved"]:
+            sids = ", ".join(str(s) for s in summary["unresolved_sids"][:10])
+            print(f"WARNING: {summary['unresolved']} join(s) unresolved "
+                  f"(span ids: {sids}"
+                  + (", ..." if len(summary["unresolved_sids"]) > 10 else "")
+                  + ") — span events merged away, ring-dropped, or the "
+                  f"'power' category was filtered", file=sys.stderr)
+    return 0
+
+
+def _cmd_diff(args):
+    """Diff two traced runs: decision divergence + energy attribution."""
+    import json
+
+    from repro.obs.diff import diff_traces
+    from repro.obs.export import read_events_jsonl
+
+    events_a = read_events_jsonl(args.left)
+    events_b = read_events_jsonl(args.right)
+    diff = diff_traces(
+        events_a, events_b,
+        label_a=args.left, label_b=args.right,
+        gap=args.gap,
+    )
+    # Write the JSON before printing the report so `repro diff ... | head`
+    # (stdout closed early) still leaves the artifact on disk.
+    if args.json:
+        import os
+
+        out_dir = os.path.dirname(args.json)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(diff.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(diff.render(max_windows=args.max_windows))
+    if args.json:
+        print(f"wrote {args.json}")
+    if args.fail_on_divergence and not diff.identical:
+        return 1
     return 0
 
 
@@ -260,6 +320,30 @@ def build_parser():
                    help="workload seed (bursty)")
     p.add_argument("--seconds", type=float, default=20.0,
                    help="playback seconds (video)")
+    p.add_argument("--no-hysteresis", action="store_true",
+                   help="zero the upgrade hysteresis margins (goal); "
+                        "pair with a default run for `repro diff`")
+    p.add_argument("--stream", action="store_true",
+                   help="stream events to PREFIX.jsonl as they are "
+                        "emitted (safe to combine with --ring: the "
+                        "file keeps the prefix the ring drops)")
+
+    p = sub.add_parser(
+        "diff",
+        help="align two traced runs on decision ids and report "
+             "divergence windows with attributed energy deltas",
+    )
+    p.add_argument("left", help="baseline trace (PREFIX.jsonl)")
+    p.add_argument("right", help="candidate trace (PREFIX.jsonl)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the diff as deterministic JSON")
+    p.add_argument("--gap", type=_nonnegative_int, default=0,
+                   help="merge divergence windows separated by at most "
+                        "this many matching decisions (default 0)")
+    p.add_argument("--max-windows", type=_positive_int, default=10,
+                   help="windows to show in the text report (default 10)")
+    p.add_argument("--fail-on-divergence", action="store_true",
+                   help="exit 1 if the decision spines differ (CI gate)")
 
     p = sub.add_parser(
         "export-figures", help="write every figure's plot data as CSV"
@@ -530,6 +614,8 @@ def _dispatch(args):
         return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     if args.command == "export-figures":
         from repro.experiments import export_figures
 

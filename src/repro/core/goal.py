@@ -154,6 +154,12 @@ class GoalDirectedController:
             self.timeline.record(now, "energy", "supply", residual)
             self.timeline.record(now, "energy", "demand", demand)
         self.decisions += 1
+        # Stable decision id: decisions fire on a fixed period from
+        # :meth:`start`, so the k-th decision of two runs under
+        # different policies lands at the same sim instant.  Alignment
+        # in :mod:`repro.obs.diff` keys on this id, not on position in
+        # the event stream (which shifts with every extra upcall).
+        did = self.decisions
         self._m_decisions.inc()
         if residual > 0.0:
             self._m_demand_ratio.observe(demand / residual)
@@ -166,13 +172,14 @@ class GoalDirectedController:
             trace.instant(
                 now, "core", f"decision.{action}", track="goal",
                 args={
+                    "did": did,
                     "supply": residual,
                     "demand": demand,
                     "power_span": self.viceroy._power_span(),
                 },
             )
         if action == DEGRADE:
-            upcall = self.viceroy.degrade_once()
+            upcall = self.viceroy.degrade_once(decision_id=did)
             if upcall is None and not self.infeasible_reported:
                 # Everything is already at lowest fidelity yet demand
                 # still exceeds supply: the duration is infeasible.
@@ -181,12 +188,13 @@ class GoalDirectedController:
                 if trace is not None:
                     trace.instant(
                         now, "core", "infeasible", track="goal",
-                        args={"supply": residual, "demand": demand},
+                        args={"did": did, "supply": residual,
+                              "demand": demand},
                     )
                 if self.on_infeasible is not None:
                     self.on_infeasible(now, demand, residual)
         elif action == UPGRADE and self._upgrade_allowed(now):
-            upcall = self.viceroy.upgrade_once()
+            upcall = self.viceroy.upgrade_once(decision_id=did)
             if upcall is not None:
                 self.last_upgrade_time = now
         self.sim.schedule(self.decision_period, self._decide)

@@ -82,37 +82,45 @@ class Viceroy:
     # ------------------------------------------------------------------
     # upcall delivery
     # ------------------------------------------------------------------
-    def degrade_once(self):
-        """Degrade the lowest-priority degradable app; None if none can."""
+    def degrade_once(self, decision_id=None):
+        """Degrade the lowest-priority degradable app; None if none can.
+
+        ``decision_id`` is the goal controller's stable decision id;
+        the upcall and fidelity trace events carry it as ``did`` so
+        :mod:`repro.obs.diff` can align upcalls across policy runs.
+        """
         app = self.ladder.pick_degrade()
         if app is None:
             return None
         new_level = app.degrade()
-        return self._log_upcall(DEGRADE, app, new_level)
+        return self._log_upcall(DEGRADE, app, new_level, decision_id)
 
-    def upgrade_once(self):
+    def upgrade_once(self, decision_id=None):
         """Upgrade the highest-priority upgradable app; None if none can."""
         app = self.ladder.pick_upgrade()
         if app is None:
             return None
         new_level = app.upgrade()
-        return self._log_upcall(UPGRADE, app, new_level)
+        return self._log_upcall(UPGRADE, app, new_level, decision_id)
 
-    def _log_upcall(self, kind, app, new_level):
+    def _log_upcall(self, kind, app, new_level, decision_id=None):
         upcall = Upcall(self.sim.now, kind, app.name, new_level)
         self.upcalls.append(upcall)
         self._m_upcalls.inc()
         (self._m_degrades if kind == DEGRADE else self._m_upgrades).inc()
         if self._trace is not None:
+            args = {
+                "application": app.name,
+                "level": new_level,
+                "power_span": self._power_span(),
+            }
+            if decision_id is not None:
+                args["did"] = decision_id
             self._trace.instant(
                 self.sim.now, "core", f"upcall.{kind}", track=app.name,
-                args={
-                    "application": app.name,
-                    "level": new_level,
-                    "power_span": self._power_span(),
-                },
+                args=args,
             )
-        self._record_fidelity(app)
+        self._record_fidelity(app, decision_id)
         return upcall
 
     def _power_span(self):
@@ -120,20 +128,23 @@ class Viceroy:
         machine = self.machine
         return machine.power_span_id() if machine is not None else None
 
-    def _record_fidelity(self, app):
+    def _record_fidelity(self, app, decision_id=None):
         level = getattr(app, "fidelity_level", None)
         normalized = getattr(app, "fidelity_normalized", None)
         level = level() if callable(level) else level
         normalized = normalized() if callable(normalized) else normalized
         if self._trace is not None:
+            args = {
+                "application": app.name,
+                "level": level,
+                "normalized": normalized,
+                "power_span": self._power_span(),
+            }
+            if decision_id is not None:
+                args["did"] = decision_id
             self._trace.instant(
                 self.sim.now, "core", "fidelity", track=app.name,
-                args={
-                    "application": app.name,
-                    "level": level,
-                    "normalized": normalized,
-                    "power_span": self._power_span(),
-                },
+                args=args,
             )
         if self.timeline is not None:
             self.timeline.record(

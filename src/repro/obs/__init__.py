@@ -33,6 +33,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracer import (
     NULL_TRACER,
+    JsonlSink,
     NullTracer,
     TraceEvent,
     Tracer,
@@ -47,6 +48,7 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "JsonlSink",
     "install",
     "uninstall",
     "installed",

@@ -40,6 +40,7 @@ __all__ = [
     "write_metrics",
     "power_spans",
     "join_power",
+    "join_summary",
 ]
 
 #: Chrome trace-event phases this exporter emits / the validator accepts.
@@ -272,3 +273,36 @@ def join_power(events):
             "span": spans.get(args["power_span"]),
         })
     return joined
+
+
+def join_summary(joined):
+    """Summarize a :func:`join_power` result, surfacing unresolved joins.
+
+    A join is *unresolved* when the referenced journal segment has no
+    ``power/span`` event in the recorded window: the sid was a forward
+    reference into a segment that merged away, the span event fell out
+    of a ring buffer, the ``power`` category was filtered, or the
+    tracer's flush hook never ran.  These were previously visible only
+    as ``span: None`` entries — easy to miss; the summary makes them a
+    first-class count the CLI can warn about.
+
+    Returns ``{"total", "resolved", "unresolved", "unresolved_sids"}``
+    where ``unresolved_sids`` is the sorted set of span ids that failed
+    to resolve.
+    """
+    unresolved_sids = set()
+    resolved = 0
+    for entry in joined:
+        if entry["span"] is None:
+            args = entry["event"].get("args") or {}
+            unresolved_sids.add(args.get("power_span"))
+        else:
+            resolved += 1
+    return {
+        "total": len(joined),
+        "resolved": resolved,
+        "unresolved": len(joined) - resolved,
+        "unresolved_sids": sorted(
+            sid for sid in unresolved_sids if sid is not None
+        ),
+    }

@@ -1,0 +1,122 @@
+"""Histogram-shape SLO checks over metrics snapshots.
+
+Scalar counters tell you *how much* happened; bucket shapes tell you
+*how it was distributed* — a goal controller whose ``goal.demand_ratio``
+mass drifts away from 1.0 is mis-predicting even if the run still meets
+its goal, and a fleet whose ``fleet.task_wall_s`` tail grows is slowing
+down even while every task succeeds.  CI's trace-smoke job asserts on
+those shapes from ``--metrics-out`` snapshots using this module.
+
+The check vocabulary mirrors
+:func:`repro.obs.export.validate_chrome_trace`: a checker returns a
+list of problem strings, empty when the SLO holds, and
+:func:`assert_histogram_slo` raises with the full list for test /
+CI use.
+
+Bucket semantics match :class:`repro.obs.metrics.Histogram`: ``buckets``
+are upper bounds, ``counts`` has one extra trailing overflow bucket,
+and boundaries are fixed at creation so shares are comparable across
+runs and mergeable across workers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "histogram_from_snapshot",
+    "share_at_or_below",
+    "check_histogram_slo",
+    "assert_histogram_slo",
+]
+
+
+def histogram_from_snapshot(snapshot, name):
+    """The histogram dict for ``name`` from a metrics snapshot.
+
+    Accepts the snapshot dict ``--metrics-out`` writes (or
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` returns).
+    Raises :class:`KeyError` with the available names when absent.
+    """
+    histograms = snapshot.get("histograms") or {}
+    if name not in histograms:
+        raise KeyError(
+            f"no histogram {name!r} in snapshot "
+            f"(available: {sorted(histograms) or 'none'})"
+        )
+    return histograms[name]
+
+
+def share_at_or_below(histogram, bound):
+    """Fraction of observations in buckets with upper bound <= ``bound``.
+
+    ``bound`` must be one of the histogram's bucket boundaries —
+    shares are only well-defined on the fixed grid (asking for 0.97 on
+    a grid of ... 0.95, 1.0 ... would silently pick a bucket the caller
+    did not mean).  Returns 0.0 for an empty histogram.
+    """
+    buckets = list(histogram["buckets"])
+    if bound not in buckets:
+        raise ValueError(
+            f"bound {bound!r} is not a bucket boundary of {buckets}"
+        )
+    total = histogram["count"]
+    if not total:
+        return 0.0
+    index = buckets.index(bound)
+    return sum(histogram["counts"][:index + 1]) / total
+
+
+def check_histogram_slo(snapshot, name, min_count=None, max_mean=None,
+                        shares=()):
+    """Check one histogram's shape; returns a list of problem strings.
+
+    Parameters
+    ----------
+    min_count:
+        Minimum number of observations (a shape over 3 samples is
+        noise; this guards against the instrumentation silently dying).
+    max_mean:
+        Upper bound on the histogram mean (``sum / count``).
+    shares:
+        Iterable of ``(bound, min_share, max_share)`` triples: the
+        fraction of observations at or below ``bound`` must fall in
+        ``[min_share, max_share]``; pass ``None`` for an unbounded
+        side.
+    """
+    try:
+        histogram = histogram_from_snapshot(snapshot, name)
+    except KeyError as error:
+        return [str(error)]
+    problems = []
+    count = histogram["count"]
+    if min_count is not None and count < min_count:
+        problems.append(f"{name}: count {count} < required {min_count}")
+    if max_mean is not None and count:
+        mean = histogram["sum"] / count
+        if mean > max_mean:
+            problems.append(f"{name}: mean {mean:.4g} > allowed {max_mean}")
+    for bound, min_share, max_share in shares:
+        try:
+            share = share_at_or_below(histogram, bound)
+        except ValueError as error:
+            problems.append(f"{name}: {error}")
+            continue
+        if min_share is not None and share < min_share:
+            problems.append(
+                f"{name}: share(<= {bound}) = {share:.3f} < "
+                f"required {min_share}"
+            )
+        if max_share is not None and share > max_share:
+            problems.append(
+                f"{name}: share(<= {bound}) = {share:.3f} > "
+                f"allowed {max_share}"
+            )
+    return problems
+
+
+def assert_histogram_slo(snapshot, name, **kwargs):
+    """Raise :class:`AssertionError` listing every violated constraint."""
+    problems = check_histogram_slo(snapshot, name, **kwargs)
+    if problems:
+        raise AssertionError(
+            f"histogram SLO violated: " + "; ".join(problems)
+        )

@@ -37,6 +37,7 @@ Exporters map ``ts`` to microseconds for the Chrome trace format.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -46,6 +47,7 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "JsonlSink",
     "install",
     "uninstall",
     "installed",
@@ -118,6 +120,43 @@ class TraceEvent:
                 f"ts={self.ts:.6f} track={self.track}>")
 
 
+class JsonlSink:
+    """Streaming sink: append events to disk as they are emitted.
+
+    Attach to a :class:`Tracer` via its ``sink=`` parameter and every
+    event reaches disk *at emit time*, before any ring-buffer eviction
+    — so an unbounded Figure-22-length run can be traced (and later
+    diffed) with a small ring, without losing the prefix.  The on-disk
+    format is exactly :func:`repro.obs.export.write_events_jsonl`'s:
+    one sorted-key JSON object per line, in emit order.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+        self.count = 0
+
+    def write(self, event):
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+        self.count += 1
+
+    def flush(self):
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
 class Tracer:
     """Recording tracer.
 
@@ -131,19 +170,25 @@ class Tracer:
         ``None`` traces every category; an iterable of category names
         restricts tracing to those subsystems (``gate`` returns
         ``None`` for the rest, so excluded paths pay nothing).
+    sink:
+        Optional streaming sink (anything with ``write(event)``, e.g.
+        :class:`JsonlSink`).  Every emitted event is forwarded before
+        ring eviction can drop it; :meth:`flush` also flushes the sink
+        when it has a ``flush`` method.
     clock:
         Wall clock; injectable for tests.
     """
 
     enabled = True
 
-    def __init__(self, capacity=None, categories=None,
+    def __init__(self, capacity=None, categories=None, sink=None,
                  clock=time.perf_counter):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.capacity = capacity
         self.events = deque(maxlen=capacity) if capacity else []
         self.categories = frozenset(categories) if categories else None
+        self.sink = sink
         self.dropped = 0
         self._clock = clock
         self.t0_wall = clock()
@@ -175,6 +220,8 @@ class Tracer:
         if self.capacity is not None and len(events) == self.capacity:
             self.dropped += 1
         events.append(event)
+        if self.sink is not None:
+            self.sink.write(event)
         return event
 
     def instant(self, ts, cat, name, track=None, args=None):
@@ -217,9 +264,12 @@ class Tracer:
         self._flush_hooks.append(hook)
 
     def flush(self):
-        """Run flush hooks; call once before exporting."""
+        """Run flush hooks (and flush the sink); call once before export."""
         for hook in self._flush_hooks:
             hook()
+        sink_flush = getattr(self.sink, "flush", None)
+        if sink_flush is not None:
+            sink_flush()
 
     def __len__(self):
         return len(self.events)

@@ -1,0 +1,111 @@
+"""Tests for repro.obs.slo: histogram bucket-shape SLO checks."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    assert_histogram_slo,
+    check_histogram_slo,
+    histogram_from_snapshot,
+    share_at_or_below,
+)
+
+
+def _snapshot(values, buckets=(0.5, 1.0, 2.0)):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("ratio", buckets=buckets)
+    for value in values:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+class TestShare:
+    def test_share_counts_buckets_at_or_below_bound(self):
+        snapshot = _snapshot([0.2, 0.4, 0.9, 1.5, 5.0])
+        histogram = histogram_from_snapshot(snapshot, "ratio")
+        assert share_at_or_below(histogram, 0.5) == pytest.approx(0.4)
+        assert share_at_or_below(histogram, 1.0) == pytest.approx(0.6)
+        assert share_at_or_below(histogram, 2.0) == pytest.approx(0.8)
+
+    def test_non_boundary_bound_rejected(self):
+        histogram = histogram_from_snapshot(_snapshot([0.2]), "ratio")
+        with pytest.raises(ValueError, match="not a bucket boundary"):
+            share_at_or_below(histogram, 0.97)
+
+    def test_empty_histogram_share_is_zero(self):
+        histogram = histogram_from_snapshot(_snapshot([]), "ratio")
+        assert share_at_or_below(histogram, 1.0) == 0.0
+
+    def test_missing_histogram_raises_with_available_names(self):
+        with pytest.raises(KeyError, match="ratio"):
+            histogram_from_snapshot(_snapshot([1.0]), "nope")
+
+
+class TestCheck:
+    def test_healthy_shape_passes(self):
+        snapshot = _snapshot([0.9, 0.95, 1.0, 0.99] * 30)
+        problems = check_histogram_slo(
+            snapshot, "ratio",
+            min_count=100,
+            max_mean=1.5,
+            shares=[(1.0, 0.95, None), (0.5, None, 0.05)],
+        )
+        assert problems == []
+
+    def test_min_count_violation_reported(self):
+        problems = check_histogram_slo(_snapshot([1.0]), "ratio",
+                                       min_count=100)
+        assert any("count 1 < required 100" in p for p in problems)
+
+    def test_share_violations_reported_both_sides(self):
+        snapshot = _snapshot([0.1, 0.2, 0.3, 5.0])
+        problems = check_histogram_slo(
+            snapshot, "ratio",
+            shares=[(0.5, None, 0.5),   # too much mass low
+                    (2.0, 0.99, None)],  # tail too heavy
+        )
+        assert len(problems) == 2
+        assert any("> allowed" in p for p in problems)
+        assert any("< required" in p for p in problems)
+
+    def test_max_mean_violation_reported(self):
+        problems = check_histogram_slo(_snapshot([4.0, 6.0]), "ratio",
+                                       max_mean=2.0)
+        assert any("mean 5 > allowed" in p for p in problems)
+
+    def test_missing_histogram_is_a_problem_not_a_crash(self):
+        problems = check_histogram_slo({"histograms": {}}, "ghost")
+        assert problems and "ghost" in problems[0]
+
+    def test_bad_bound_is_a_problem_not_a_crash(self):
+        problems = check_histogram_slo(_snapshot([1.0]), "ratio",
+                                       shares=[(0.97, 0.5, None)])
+        assert problems and "not a bucket boundary" in problems[0]
+
+    def test_assert_raises_with_all_problems(self):
+        snapshot = _snapshot([5.0])
+        with pytest.raises(AssertionError, match="SLO violated"):
+            assert_histogram_slo(snapshot, "ratio", min_count=10,
+                                 max_mean=1.0)
+        assert_histogram_slo(snapshot, "ratio", min_count=1)
+
+
+class TestGoalRunShape:
+    def test_goal_demand_ratio_shape_from_real_run(self):
+        """The trace-smoke CI assertion, exercised in-process: a healthy
+        goal run keeps its demand/supply ratio mass near 1.0."""
+        from repro.experiments import run_goal_experiment
+        from repro.obs.metrics import set_metrics
+
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            run_goal_experiment(120.0, initial_energy=6000.0)
+        finally:
+            set_metrics(previous)
+        snapshot = registry.snapshot()
+        assert_histogram_slo(
+            snapshot, "goal.demand_ratio",
+            min_count=100,
+            shares=[(1.25, 0.9, None)],
+        )

@@ -181,3 +181,64 @@ class TestMetrics:
         assert "c=1" in repr(Counter("c")) or "c" in repr(Counter("c"))
         assert "Gauge" in repr(Gauge("g"))
         assert "Histogram" in repr(Histogram("h"))
+
+
+class TestJsonlSink:
+    def _emit_n(self, tracer, n):
+        for k in range(n):
+            tracer.instant(float(k), "sim", "e", track="engine",
+                           args={"seq": k})
+
+    def test_sink_receives_events_the_ring_drops(self, tmp_path):
+        from repro.obs import JsonlSink
+        from repro.obs.export import read_events_jsonl
+
+        path = tmp_path / "stream.jsonl"
+        with JsonlSink(path) as sink:
+            tracer = Tracer(capacity=3, sink=sink, clock=FakeClock())
+            self._emit_n(tracer, 10)
+            tracer.flush()
+        assert len(tracer) == 3  # ring kept only the suffix...
+        assert tracer.dropped == 7
+        records = read_events_jsonl(path)
+        assert len(records) == 10  # ...but the sink kept everything
+        assert [r["args"]["seq"] for r in records] == list(range(10))
+
+    def test_ring_and_streaming_modes_produce_identical_jsonl(self, tmp_path):
+        """For a bounded run, streaming through a ring-buffered tracer
+        writes byte-for-byte what an unbounded tracer exports."""
+        from repro.obs import JsonlSink
+        from repro.obs.export import write_events_jsonl
+
+        streamed = tmp_path / "streamed.jsonl"
+        with JsonlSink(streamed) as sink:
+            ring = Tracer(capacity=4, sink=sink, clock=FakeClock())
+            self._emit_n(ring, 25)
+            ring.flush()
+
+        unbounded = Tracer(clock=FakeClock())
+        self._emit_n(unbounded, 25)
+        buffered = tmp_path / "buffered.jsonl"
+        write_events_jsonl(unbounded.events, buffered)
+
+        assert streamed.read_bytes() == buffered.read_bytes()
+
+    def test_flush_flushes_sink(self, tmp_path):
+        from repro.obs import JsonlSink
+
+        path = tmp_path / "stream.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink=sink, clock=FakeClock())
+        tracer.instant(0.0, "sim", "e")
+        tracer.flush()
+        # Readable before close: flush() pushed it to disk.
+        assert path.read_text().count("\n") == 1
+        sink.close()
+
+    def test_sink_count_tracks_writes(self, tmp_path):
+        from repro.obs import JsonlSink
+
+        with JsonlSink(tmp_path / "s.jsonl") as sink:
+            tracer = Tracer(sink=sink, clock=FakeClock())
+            self._emit_n(tracer, 5)
+            assert sink.count == 5

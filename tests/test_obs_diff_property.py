@@ -1,0 +1,102 @@
+"""Property-based tests for trace-diff alignment.
+
+Seeded random decision spines (plain ``random.Random`` — deterministic,
+no external dependency) exercise the alignment invariants the golden
+suite relies on:
+
+* a spine diffed against itself is empty;
+* window boundaries are symmetric in the argument order (and energy
+  deltas negate);
+* a single perturbed decision yields exactly one single-decision
+  window at exactly that id.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.diff import SpineEntry, diff_spines
+
+ACTIONS = ("hold", "degrade", "upgrade")
+APPS = ("speech", "video", "map", "web")
+LEVELS = ("a", "b", "c")
+
+
+def random_spine(rng, length=None):
+    length = rng.randint(5, 60) if length is None else length
+    spine = []
+    for index in range(length):
+        did = index + 1
+        action = rng.choice(ACTIONS)
+        upcalls = []
+        if action != "hold" and rng.random() < 0.5:
+            upcalls.append(
+                (action, rng.choice(APPS), rng.choice(LEVELS))
+            )
+        spine.append(
+            SpineEntry(did, 0.5 * did, action, upcalls,
+                       infeasible=(rng.random() < 0.02))
+        )
+    return spine
+
+
+def copy_spine(spine):
+    return [SpineEntry(e.did, e.ts, e.action, e.upcalls, e.infeasible)
+            for e in spine]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_self_diff_is_empty(seed):
+    spine = random_spine(random.Random(seed))
+    diff = diff_spines(spine, copy_spine(spine))
+    assert diff.identical
+    assert diff.windows == []
+    assert diff.divergent_decisions == 0
+
+
+@pytest.mark.parametrize("seed", range(25))
+@pytest.mark.parametrize("gap", [0, 2])
+def test_window_boundaries_are_symmetric(seed, gap):
+    rng = random.Random(seed)
+    a = random_spine(rng)
+    b = random_spine(rng)
+    forward = diff_spines(a, b, gap=gap)
+    backward = diff_spines(b, a, gap=gap)
+    bounds = lambda d: [(w.start_did, w.end_did, w.t0, w.t1)
+                        for w in d.windows]
+    assert bounds(forward) == bounds(backward)
+    assert forward.divergent_decisions == backward.divergent_decisions
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_single_perturbation_yields_exactly_one_window(seed):
+    rng = random.Random(seed)
+    spine = random_spine(rng)
+    perturbed = copy_spine(spine)
+    victim = rng.randrange(len(perturbed))
+    entry = perturbed[victim]
+    # Replace the action with a different one; clearing upcalls keeps
+    # the entry self-consistent when flipping to "hold".
+    new_action = rng.choice([a for a in ACTIONS if a != entry.action])
+    perturbed[victim] = SpineEntry(
+        entry.did, entry.ts, new_action, (), entry.infeasible
+    )
+    diff = diff_spines(spine, perturbed)
+    assert len(diff.windows) == 1
+    window = diff.windows[0]
+    assert window.start_did == window.end_did == entry.did
+    assert diff.divergent_decisions == 1
+    assert window.t0 == entry.ts
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_truncation_yields_one_trailing_window(seed):
+    rng = random.Random(seed)
+    spine = random_spine(rng, length=rng.randint(10, 40))
+    cut = rng.randint(1, len(spine) - 1)
+    diff = diff_spines(spine, copy_spine(spine)[:cut])
+    assert len(diff.windows) == 1
+    window = diff.windows[0]
+    assert window.start_did == cut + 1
+    assert window.end_did == len(spine)
+    assert window.entries_b == []

@@ -154,3 +154,52 @@ class TestMetricsExport:
         assert json.loads(path.read_text())["counters"]["c"] == 2
         write_metrics({"counters": {"k": 1}}, path)
         assert json.loads(path.read_text())["counters"]["k"] == 1
+
+
+class TestJoinSummary:
+    def test_all_resolved(self):
+        from repro.obs.export import join_summary
+
+        summary = join_summary(join_power(_sample_tracer().events))
+        assert summary == {"total": 1, "resolved": 1, "unresolved": 0,
+                           "unresolved_sids": []}
+
+    def test_unresolved_joins_reported_not_dropped(self):
+        """Regression: a span id referencing a journal segment that
+        merged away (or whose span event was ring-dropped / filtered)
+        used to surface only as a silent ``span: None`` — the summary
+        must count it and name the sid."""
+        from repro.obs.export import join_summary
+
+        tracer = Tracer(clock=lambda: 0.0)
+        # One resolvable reference...
+        tracer.complete(0.0, "power", "span", dur=1.0, track="machine",
+                        args={"sid": 7, "watts": 5.0, "joules": 5.0})
+        tracer.instant(0.5, "core", "upcall.degrade", track="video",
+                       args={"application": "video", "power_span": 7})
+        # ...and two events referencing sid 9, whose segment never
+        # closed inside the recorded window.
+        tracer.instant(0.6, "core", "decision.hold", track="goal",
+                       args={"power_span": 9})
+        tracer.instant(0.7, "core", "fidelity", track="video",
+                       args={"power_span": 9})
+        summary = join_summary(join_power(tracer.events))
+        assert summary["total"] == 3
+        assert summary["resolved"] == 1
+        assert summary["unresolved"] == 2
+        assert summary["unresolved_sids"] == [9]
+
+    def test_category_filtered_power_spans_all_unresolved(self):
+        """Tracing with ``categories={'core'}`` records the references
+        but not the spans — every join is unresolved and the summary
+        says so (the CLI warns from this)."""
+        from repro.obs.export import join_summary
+
+        tracer = Tracer(categories={"core"}, clock=lambda: 0.0)
+        gate = tracer.gate("power")
+        assert gate is None  # the machine would emit nothing
+        tracer.instant(0.5, "core", "upcall.degrade", track="video",
+                       args={"application": "video", "power_span": 3})
+        summary = join_summary(join_power(tracer.events))
+        assert summary["unresolved"] == 1
+        assert summary["unresolved_sids"] == [3]

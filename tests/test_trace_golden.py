@@ -1,0 +1,72 @@
+"""Golden-trace regression suite: controller drift is a test failure.
+
+Each scenario's canonical decision spine lives under ``tests/goldens/``
+(see ``tests/golden_scenarios.py`` for the pinned parameters).  The
+tests re-run the scenario and diff the fresh spine against the golden
+with :func:`repro.obs.diff.diff_spines`; *any* divergence window fails
+with the rendered diff, so a changed threshold, cadence, or priority
+order surfaces as "decision 83: A=hold vs B=degrade>video:premiere-b",
+not as a silently shifted plot.  Intentional behaviour changes are
+re-blessed with ``python scripts/regen_goldens.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.diff import diff_spines, read_spine_jsonl
+from tests.golden_scenarios import SCENARIOS, golden_path, run_scenario
+
+REBLESS_HINT = (
+    "\n\nIf this behaviour change is intentional, re-bless the goldens "
+    "with: PYTHONPATH=src python scripts/regen_goldens.py"
+)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_matches_golden(name):
+    path = golden_path(name)
+    assert os.path.exists(path), (
+        f"missing golden {path}; generate it with scripts/regen_goldens.py"
+    )
+    golden = read_spine_jsonl(path)
+    spine = run_scenario(name)
+    diff = diff_spines(golden, spine,
+                       label_a=f"golden:{name}", label_b="this run")
+    assert diff.identical, "\n" + diff.render() + REBLESS_HINT
+
+
+def test_golden_has_real_adaptation():
+    """The goldens must exercise the controller, not just record holds."""
+    for name in SCENARIOS:
+        spine = read_spine_jsonl(golden_path(name))
+        actions = {entry.action for entry in spine}
+        upcalls = sum(len(entry.upcalls) for entry in spine)
+        assert "degrade" in actions, f"{name}: no degrade decisions"
+        assert upcalls > 0, f"{name}: no upcalls delivered"
+
+
+def test_perturbed_threshold_fails_golden(monkeypatch):
+    """A 10% shift in the degrade threshold must produce divergence.
+
+    This is the suite's own regression test: it proves the goldens are
+    sensitive to exactly the kind of controller drift they exist to
+    catch, rather than vacuously passing.
+    """
+    from repro.core.hysteresis import AdaptationTrigger
+
+    original = AdaptationTrigger.decide
+
+    def perturbed(self, predicted_demand, residual):
+        return original(self, predicted_demand, residual * 0.9)
+
+    monkeypatch.setattr(AdaptationTrigger, "decide", perturbed)
+    golden = read_spine_jsonl(golden_path("goal-default"))
+    spine = run_scenario("goal-default")
+    diff = diff_spines(golden, spine)
+    assert not diff.identical, (
+        "perturbing the controller threshold did not change the "
+        "decision spine — the goldens would not catch real drift"
+    )
+    assert diff.first_divergence is not None
+    assert diff.divergent_decisions > 0
