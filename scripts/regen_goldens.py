@@ -10,8 +10,12 @@ regenerated; name scenarios to regenerate a subset.  Review the diff of
 the golden files before committing — each changed line is a decision
 the controller now takes differently, and ``python -m repro diff`` of
 before/after traces is the readable view of the same change.
+
+Pass ``--campaign`` to (also) re-bless the fleet campaign outcome
+golden (task ordering + retry counts, ``tests/goldens/campaign-demo``).
 """
 
+import json
 import os
 import sys
 
@@ -21,14 +25,42 @@ sys.path.insert(0, REPO_ROOT)
 
 from repro.obs.diff import diff_spines, read_spine_jsonl, write_spine_jsonl  # noqa: E402
 from tests.golden_scenarios import (  # noqa: E402
+    CAMPAIGN_GOLDEN,
     GOLDEN_DIR,
     SCENARIOS,
     golden_path,
+    run_campaign_scenario,
     run_scenario,
 )
 
 
+def regen_campaign():
+    path = os.path.join(GOLDEN_DIR, f"{CAMPAIGN_GOLDEN}.json")
+    record = run_campaign_scenario()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            old = json.load(handle)
+        if old == record:
+            print(f"{CAMPAIGN_GOLDEN}: unchanged ({len(record)} tasks)")
+            return
+        print(f"{CAMPAIGN_GOLDEN}: outcome changed")
+        for before, after in zip(old, record):
+            if before != after:
+                print(f"  {before} -> {after}")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"{CAMPAIGN_GOLDEN}: wrote {path} ({len(record)} tasks)")
+
+
 def main(argv):
+    campaign = "--campaign" in argv
+    argv = [a for a in argv if a != "--campaign"]
+    if campaign:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        regen_campaign()
+        if not argv:
+            return 0
     names = argv or sorted(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:

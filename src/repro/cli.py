@@ -14,6 +14,8 @@ code:
   as one parallel, cached fleet campaign
 * ``python -m repro diff a.jsonl b.jsonl`` — decision divergence and
   per-window energy deltas between two traced runs
+* ``python -m repro snapshot roundtrip|sweep`` — fork-determinism
+  check and the warm-started goal-extension sweep
 * ``python -m repro bench`` — hot-path micro-benchmarks; with
   ``--compare BENCH_core.json`` a CI regression gate
 
@@ -150,15 +152,34 @@ def _cmd_trace(args):
         sink=sink,
     )
     with installed(tracer):
-        if args.experiment == "goal":
+        if args.experiment == "goal" and (args.pulse or args.lookahead):
+            from repro.snapshot.scenario import run_pulse_goal
+
+            pulse_kwargs = {"lookahead": args.lookahead,
+                            "horizon": args.horizon}
+            if args.goal is not None:
+                pulse_kwargs["goal_seconds"] = args.goal
+            if args.energy is not None:
+                pulse_kwargs["initial_energy"] = args.energy
+            summary = run_pulse_goal(**pulse_kwargs)
+            print(f"pulse goal: {'MET' if summary['goal_met'] else 'MISSED'} "
+                  f"(residual {summary['battery_residual_j']:.0f} J)")
+            if args.lookahead:
+                look = summary["lookahead"]
+                print(f"lookahead: {look['evaluations']} evaluations, "
+                      f"{look['overrides']} overrides, "
+                      f"{look['branches_run']} branches")
+        elif args.experiment == "goal":
             from repro.experiments import run_goal_experiment
 
             controller_kwargs = {}
             if args.no_hysteresis:
                 controller_kwargs = {"variable_fraction": 0.0,
                                      "constant_fraction": 0.0}
-            result = run_goal_experiment(args.goal,
-                                         initial_energy=args.energy,
+            goal = args.goal if args.goal is not None else 400.0
+            energy = args.energy if args.energy is not None else 6000.0
+            result = run_goal_experiment(goal,
+                                         initial_energy=energy,
                                          **controller_kwargs)
             print(f"goal {result.goal_seconds:.0f}s: "
                   f"{'MET' if result.goal_met else 'MISSED'} "
@@ -166,8 +187,9 @@ def _cmd_trace(args):
         elif args.experiment == "bursty":
             from repro.experiments import run_bursty_experiment
 
-            result = run_bursty_experiment(args.seed, args.goal)
-            print(f"bursty goal {args.goal:.0f}s (seed {args.seed}): "
+            goal = args.goal if args.goal is not None else 400.0
+            result = run_bursty_experiment(args.seed, goal)
+            print(f"bursty goal {goal:.0f}s (seed {args.seed}): "
                   f"{'MET' if result.goal_met else 'MISSED'}")
         else:  # video
             from repro.experiments import build_rig
@@ -310,12 +332,24 @@ def build_parser():
     p.add_argument("--ring", type=_positive_int, default=None,
                    help="ring-buffer capacity (default: unbounded)")
     p.add_argument("--categories", nargs="*", default=None,
-                   choices=("sim", "power", "core", "powerscope", "fleet"),
+                   choices=("sim", "power", "core", "powerscope", "fleet",
+                            "branch"),
                    help="restrict tracing to these categories")
-    p.add_argument("--goal", type=float, default=400.0,
-                   help="goal seconds (goal/bursty)")
-    p.add_argument("--energy", type=float, default=6000.0,
-                   help="initial energy in joules (goal)")
+    p.add_argument("--goal", type=float, default=None,
+                   help="goal seconds (goal/bursty; default 400, "
+                        "or 290 with --pulse/--lookahead)")
+    p.add_argument("--energy", type=float, default=None,
+                   help="initial energy in joules (goal; default 6000, "
+                        "or 2400 with --pulse/--lookahead)")
+    p.add_argument("--pulse", action="store_true",
+                   help="run the snapshot-capable pulse scenario instead "
+                        "of the generator-based goal rig (goal only)")
+    p.add_argument("--lookahead", action="store_true",
+                   help="vet adaptation decisions with forked what-if "
+                        "branches (implies --pulse); branch verdicts "
+                        "are traced on the 'branch' category")
+    p.add_argument("--horizon", type=float, default=12.0,
+                   help="lookahead branch horizon in seconds (default 12)")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (bursty)")
     p.add_argument("--seconds", type=float, default=20.0,
@@ -420,6 +454,44 @@ def build_parser():
                    help="also write one CSV per application table")
     p.add_argument("--telemetry-out", default=None, metavar="PATH",
                    help="write the campaign telemetry snapshot as JSON")
+    p.add_argument("--worker-trace", action="store_true",
+                   help="collect in-worker ring traces and merge them "
+                        "into the coordinator trace on per-task tracks "
+                        "(needs --trace)")
+    add_obs_flags(p)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="checkpoint/fork the pulse scenario: determinism roundtrip "
+             "or a warm-started extension sweep",
+    )
+    p.add_argument("mode", choices=("roundtrip", "sweep"),
+                   help="roundtrip: capture mid-run, fork, verify the fork "
+                        "finishes byte-identical to an uninterrupted run; "
+                        "sweep: goal-extension campaign that restores the "
+                        "shared scenario prefix from --snapshot-dir")
+    p.add_argument("--at", type=float, default=120.0,
+                   help="capture / extension instant in sim seconds "
+                        "(default 120)")
+    p.add_argument("--lookahead", action="store_true",
+                   help="roundtrip: use the lookahead controller; "
+                        "sweep: add the lookahead policy as a second axis")
+    p.add_argument("--horizon", type=float, default=12.0,
+                   help="lookahead branch horizon in seconds (default 12)")
+    p.add_argument("--extensions", nargs="*", type=float,
+                   default=(0.0, 20.0, 40.0),
+                   help="goal extensions in seconds to sweep (default "
+                        "0 20 40)")
+    p.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                   help="snapshot store directory; omitting it runs the "
+                        "sweep cold (every prefix re-simulated)")
+    p.add_argument("--jobs", type=_positive_int, default=None,
+                   help="worker processes for the sweep (default: serial)")
+    p.add_argument("--verify-cold", action="store_true",
+                   help="re-run every sweep point cold and fail unless the "
+                        "warm results are identical")
+    p.add_argument("--telemetry-out", default=None, metavar="PATH",
+                   help="write the campaign telemetry snapshot as JSON")
     add_obs_flags(p)
 
     return parser
@@ -496,6 +568,120 @@ def _cmd_bench(args):
     return 0
 
 
+def _cmd_snapshot(args):
+    if args.mode == "roundtrip":
+        return _cmd_snapshot_roundtrip(args)
+    return _cmd_snapshot_sweep(args)
+
+
+def _cmd_snapshot_roundtrip(args):
+    """Fork-determinism check: capture mid-run, finish both, compare."""
+    from repro.fleet.spec import canonical_json
+    from repro.snapshot import Snapshot
+    from repro.snapshot.scenario import build_pulse_scenario
+
+    kwargs = {"lookahead": args.lookahead, "horizon": args.horizon}
+    reference = build_pulse_scenario(**kwargs).start().run()
+    interrupted = build_pulse_scenario(**kwargs).start().run(until=args.at)
+    snap = Snapshot.capture(interrupted.sim)
+    print(f"captured at t={snap.time:g}s ({len(snap.payload['events'])} "
+          f"pending events, {len(snap.payload['states'])} objects)")
+    fork = snap.fork().run()
+    interrupted.run()
+
+    summaries = {
+        "uninterrupted": canonical_json(reference.summary()),
+        "fork": canonical_json(fork.summary()),
+        "parent": canonical_json(interrupted.summary()),
+    }
+    finals = {
+        name: canonical_json(Snapshot.capture(sc.sim).payload)
+        for name, sc in (("uninterrupted", reference), ("fork", fork),
+                         ("parent", interrupted))
+    }
+    ok = (len(set(summaries.values())) == 1
+          and len(set(finals.values())) == 1)
+    if ok:
+        print("roundtrip OK: fork and parent are byte-identical to the "
+              "uninterrupted run (summary + full final state)")
+        return 0
+    for name in ("fork", "parent"):
+        if summaries[name] != summaries["uninterrupted"]:
+            print(f"FAIL: {name} summary diverges from uninterrupted run")
+        elif finals[name] != finals["uninterrupted"]:
+            print(f"FAIL: {name} final state diverges from "
+                  f"uninterrupted run")
+    return 1
+
+
+def _cmd_snapshot_sweep(args):
+    """Warm-started goal-extension sweep over the snapshot store."""
+    from repro.fleet.runner import FleetRunner
+    from repro.fleet.spec import canonical_json
+    from repro.snapshot.warm import build_warm_campaign, pulse_goal_summary
+
+    axis = (False, True) if args.lookahead else (False,)
+    warm = args.snapshot_dir is not None
+    if not warm:
+        print("no --snapshot-dir: running cold (no prefix reuse)")
+    spec = build_warm_campaign(
+        extensions=tuple(args.extensions), lookahead_axis=axis,
+        extend_at=args.at, warm=warm, snapshot_dir=args.snapshot_dir,
+        horizon=args.horizon,
+    )
+    runner = FleetRunner(jobs=args.jobs if args.jobs is not None else 1)
+    result = runner.run(spec)
+    rows = []
+    for task, task_result in zip(spec.tasks, result.results):
+        value = task_result.value
+        if not isinstance(value, dict):
+            rows.append([task.id, "FAILED", "-", "-", "-", "-"])
+            continue
+        rows.append([
+            task.id,
+            "met" if value["goal_met"] else "missed",
+            f"{value['survived_seconds']:.0f}",
+            f"{value['energy_total_j']:.0f}",
+            f"{value['battery_residual_j']:.0f}",
+            "warm" if value.get("snapshot_restored") else "cold",
+        ])
+    print(render_table(
+        ["task", "goal", "survived (s)", "energy (J)", "residual (J)",
+         "prefix"],
+        rows, title="goal-extension sweep",
+    ))
+    print(result.telemetry.render())
+    if args.telemetry_out:
+        import json
+
+        with open(args.telemetry_out, "w", encoding="utf-8") as handle:
+            json.dump(result.telemetry.snapshot(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.telemetry_out}")
+    for failure in result.failures:
+        print(f"FAILED {failure.task_id} "
+              f"(attempts {failure.attempts}): {failure.error}")
+    code = 0 if result.ok else 1
+    if args.verify_cold and result.ok:
+        strip = lambda s: {k: v for k, v in s.items()
+                           if k != "snapshot_restored"}
+        mismatches = []
+        for task, task_result in zip(spec.tasks, result.results):
+            cold = pulse_goal_summary(**{**task.params, "warm": False})
+            if canonical_json(strip(cold)) != canonical_json(
+                    strip(task_result.value)):
+                mismatches.append(task.id)
+        if mismatches:
+            print(f"FAIL: warm result differs from cold for "
+                  f"{', '.join(mismatches)}")
+            code = 1
+        else:
+            print(f"verified: all {len(spec.tasks)} warm results "
+                  f"identical to cold re-runs")
+    return code
+
+
 def _cmd_sweep(args):
     from repro.fleet import ProgressPrinter, run_sweep
 
@@ -509,6 +695,7 @@ def _cmd_sweep(args):
         timeout_s=args.timeout,
         retries=args.retries,
         progress=printer,
+        worker_trace=args.worker_trace,
     )
     if printer is not None:
         printer.close()
@@ -639,6 +826,8 @@ def _dispatch(args):
         return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

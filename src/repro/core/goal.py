@@ -76,6 +76,8 @@ class GoalDirectedController:
         self.infeasible_reported = False
         self.last_upgrade_time = None
         self.decisions = 0
+        self._entry = None
+        self._subscribed = False
 
         tracer = getattr(self.sim, "tracer", None)
         self._trace = tracer.gate("core") if tracer is not None else None
@@ -112,8 +114,9 @@ class GoalDirectedController:
         self.start_time = self.sim.now
         self.goal_time = self.sim.now + self.goal_seconds
         self.monitor.subscribe(self._on_power_sample)
+        self._subscribed = True
         self.monitor.start()
-        self.sim.schedule(self.decision_period, self._decide)
+        self._entry = self.sim.schedule(self.decision_period, self._decide)
 
     def stop(self):
         """Stop deciding (the monitor keeps other subscribers running)."""
@@ -164,7 +167,7 @@ class GoalDirectedController:
         if residual > 0.0:
             self._m_demand_ratio.observe(demand / residual)
 
-        action = self.trigger.decide(demand, residual)
+        action = self._choose_action(now, did, demand, residual)
         trace = self._trace
         if trace is not None:
             trace.counter(now, "core", "supply_j", residual, track="goal")
@@ -197,12 +200,70 @@ class GoalDirectedController:
             upcall = self.viceroy.upgrade_once(decision_id=did)
             if upcall is not None:
                 self.last_upgrade_time = now
-        self.sim.schedule(self.decision_period, self._decide)
+        self._entry = self.sim.schedule(self.decision_period, self._decide)
+
+    def _choose_action(self, now, did, demand, residual):
+        """Pick HOLD/DEGRADE/UPGRADE for one decision.
+
+        The base policy is the paper's hysteresis trigger; subclasses
+        (:class:`repro.snapshot.lookahead.LookaheadGoalController`)
+        override this to vet the trigger's proposal against forked
+        what-if branches.
+        """
+        return self.trigger.decide(demand, residual)
 
     def _upgrade_allowed(self, now):
         if self.last_upgrade_time is None:
             return True
         return now - self.last_upgrade_time >= self.upgrade_min_interval
+
+    # ------------------------------------------------------------------
+    # snapshot protocol (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __snapshot__(self, ctx):
+        ctx.claim(self._entry, "decide")
+        return {
+            "supply": {
+                "initial": self.supply.initial,
+                "consumed": self.supply.consumed,
+            },
+            "predictor": {
+                "smoothed_watts": self.predictor.smoothed_watts,
+                "samples_seen": self.predictor.samples_seen,
+            },
+            "goal_seconds": self.goal_seconds,
+            "goal_time": self.goal_time,
+            "start_time": self.start_time,
+            "running": self.running,
+            "goal_reached": self.goal_reached,
+            "infeasible_reported": self.infeasible_reported,
+            "last_upgrade_time": self.last_upgrade_time,
+            "decisions": self.decisions,
+            "subscribed": self._subscribed,
+        }
+
+    def __restore__(self, state, ctx):
+        self.supply.initial = state["supply"]["initial"]
+        self.supply.consumed = state["supply"]["consumed"]
+        self.predictor.smoothed_watts = state["predictor"]["smoothed_watts"]
+        self.predictor.samples_seen = state["predictor"]["samples_seen"]
+        self.goal_seconds = state["goal_seconds"]
+        self.goal_time = state["goal_time"]
+        self.start_time = state["start_time"]
+        self.running = bool(state["running"])
+        self.goal_reached = bool(state["goal_reached"])
+        self.infeasible_reported = bool(state["infeasible_reported"])
+        self.last_upgrade_time = state["last_upgrade_time"]
+        self.decisions = int(state["decisions"])
+        if state["subscribed"] and not self._subscribed:
+            # start() never ran on this fresh instance; re-wire the
+            # power feed (the monitor does not serialize callables).
+            self.monitor.subscribe(self._on_power_sample)
+            self._subscribed = True
+        for when, seq, kind in ctx.events():
+            if kind != "decide":
+                raise ValueError(f"unexpected goal event kind {kind!r}")
+            self._entry = ctx.push(when, seq, self._decide)
 
     # ------------------------------------------------------------------
     def summary(self):

@@ -152,6 +152,30 @@ class Viceroy:
             )
 
     # ------------------------------------------------------------------
+    # snapshot protocol (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __snapshot__(self, ctx):
+        """Upcall history only; application fidelity state is owned by
+        the applications themselves (register each one separately)."""
+        return {
+            "upcalls": [
+                [u.time, u.kind, u.application, u.new_level]
+                for u in self.upcalls
+            ],
+            "priorities": {
+                app.name: app.priority for app in self.ladder.applications
+            },
+        }
+
+    def __restore__(self, state, ctx):
+        self.upcalls = [
+            Upcall(time, kind, application, new_level)
+            for time, kind, application, new_level in state["upcalls"]
+        ]
+        for name, priority in state["priorities"].items():
+            self.set_priority(name, priority)
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     def adaptation_counts(self):

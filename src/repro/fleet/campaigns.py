@@ -171,14 +171,14 @@ def tables_from_result(result, trials=1):
 
 def run_sweep(apps=None, jobs=None, trials=1, think_time_s=None,
               spread=0.03, runner=None, cache=None, timeout_s=None,
-              retries=2, progress=None):
+              retries=2, progress=None, worker_trace=False):
     """Build, run, and aggregate a sweep; returns ``(tables, result)``."""
     spec = sweep_campaign(apps, think_time_s=think_time_s, trials=trials,
                           spread=spread)
     if runner is None:
         runner = FleetRunner(jobs=jobs, timeout_s=timeout_s,
                              retries=retries, cache=cache,
-                             progress=progress)
+                             progress=progress, worker_trace=worker_trace)
     result = runner.run(spec)
     return tables_from_result(result, trials=trials), result
 

@@ -134,11 +134,20 @@ class FleetRunner:
     progress:
         Optional callable ``progress(event, task_id, telemetry, detail)``
         invoked on cached/ok/failed/retry events.
+    worker_trace:
+        Collect a ring-buffered trace *inside* each worker and merge it
+        into the coordinator's stream when the task completes: every
+        worker event re-emits under the ``fleet`` category on a
+        ``w<pid>/<task-id>`` track, named ``<orig-cat>/<orig-name>`` —
+        so per-task sim activity is visible without polluting the
+        coordinator's sim-domain categories (decision spines and power
+        joins never read ``fleet``).  Effective only when the
+        coordinator's own ``fleet`` gate is open.
     """
 
     def __init__(self, jobs=None, timeout_s=None, retries=2,
                  backoff_s=0.05, cache=None, progress=None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, worker_trace=False):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
@@ -155,6 +164,9 @@ class FleetRunner:
         # processes) with wall-clock timestamps on the "fleet" category.
         self.tracer = tracer if tracer is not None else current_tracer()
         self._trace = self.tracer.gate("fleet")
+        # Shipping worker rings is pure overhead when nothing records
+        # them, so the flag only takes effect with an open fleet gate.
+        self.worker_trace = bool(worker_trace) and self._trace is not None
         self.metrics = metrics if metrics is not None else current_metrics()
         self._m_events = {
             OK: self.metrics.counter("fleet.tasks_ok"),
@@ -218,6 +230,26 @@ class FleetRunner:
         if self.progress is not None:
             self.progress(event, task_id, telemetry, detail)
 
+    def _merge_worker_trace(self, task, outcome):
+        """Replay one worker's ring buffer onto a per-task fleet track."""
+        records = outcome.get("trace")
+        if self._trace is None or not records:
+            return
+        worker = outcome.get("worker_pid")
+        track = f"w{worker}/{task.id}" if worker is not None else f"w/{task.id}"
+        for record in records:
+            self._trace.replay(
+                record, cat="fleet",
+                name=f"{record.get('cat', '?')}/{record.get('name', '?')}",
+                track=track,
+            )
+        dropped = outcome.get("trace_dropped", 0)
+        if dropped:
+            self._trace.instant(
+                self.tracer.wall(), "fleet", "task.trace_dropped",
+                track=track, args={"task": task.id, "dropped": dropped},
+            )
+
     def _record_success(self, task, outcome, attempt, results, telemetry):
         results[task.id] = TaskResult(
             task.id, OK, value=outcome["value"],
@@ -225,6 +257,10 @@ class FleetRunner:
         )
         telemetry.succeeded += 1
         telemetry.busy_s += outcome["wall_s"]
+        value = outcome["value"]
+        if isinstance(value, dict) and value.get("snapshot_restored"):
+            telemetry.restored += 1
+        self._merge_worker_trace(task, outcome)
         self._m_task_wall.observe(outcome["wall_s"])
         if self._trace is not None:
             end = self.tracer.wall()
@@ -255,7 +291,8 @@ class FleetRunner:
             for attempt in range(1, self.retries + 2):
                 telemetry.attempts += 1
                 try:
-                    outcome = run_task(task, self.timeout_s)
+                    outcome = run_task(task, self.timeout_s,
+                                       collect_trace=self.worker_trace)
                 except Exception as exc:
                     if attempt <= self.retries:
                         telemetry.retried += 1
@@ -282,12 +319,14 @@ class FleetRunner:
             nonlocal executor
             telemetry.attempts += 1
             try:
-                future = executor.submit(run_task, task, self.timeout_s)
+                future = executor.submit(run_task, task, self.timeout_s,
+                                         self.worker_trace)
             except BrokenProcessPool:
                 # The pool died between completions; replace it wholesale.
                 executor.shutdown(wait=False, cancel_futures=True)
                 executor = ProcessPoolExecutor(max_workers=self.jobs)
-                future = executor.submit(run_task, task, self.timeout_s)
+                future = executor.submit(run_task, task, self.timeout_s,
+                                         self.worker_trace)
             inflight[future] = (task, attempt)
             telemetry.running += 1
 

@@ -26,6 +26,9 @@ class FleetTelemetry:
     running: int = 0
     busy_s: float = 0.0
     wall_s: float = 0.0
+    #: Successful tasks that warm-started from a stored snapshot
+    #: instead of cold-simulating their scenario prefix.
+    restored: int = 0
 
     @property
     def done(self):
@@ -73,6 +76,7 @@ class FleetTelemetry:
             "failed": self.failed,
             "retried": self.retried,
             "attempts": self.attempts,
+            "restored": self.restored,
             "busy_s": self.busy_s,
             "wall_s": self.wall_s,
             "speedup_estimate": self.speedup_estimate,
@@ -86,6 +90,8 @@ class FleetTelemetry:
             f"cached {self.cached}  failed {self.failed}  "
             f"retries {self.retried}  wall {self.wall_s:.2f}s"
         )
+        if self.restored:
+            line += f"  restored {self.restored}"
         if self.from_cache:
             line += "  (from cache)"
         elif self.succeeded:

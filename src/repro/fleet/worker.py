@@ -14,6 +14,7 @@ are still correct, just unbounded).
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
@@ -23,6 +24,10 @@ from repro.fleet.errors import TaskTimeout
 from repro.fleet.spec import resolve_callable
 
 __all__ = ["execute_task", "run_task"]
+
+#: Ring-buffer size for in-worker tracing: bounds the per-task result
+#: payload shipped back through the pool's result channel.
+WORKER_TRACE_CAPACITY = 4096
 
 
 def _alarm_supported():
@@ -51,22 +56,46 @@ def _deadline(timeout_s):
         signal.signal(signal.SIGALRM, previous)
 
 
-def execute_task(fn, params, payload=(), timeout_s=None):
+def execute_task(fn, params, payload=(), timeout_s=None,
+                 collect_trace=False):
     """Run one task to completion; returns ``{"value", "wall_s"}``.
+
+    With ``collect_trace`` a ring-buffered tracer is installed for the
+    duration of the task and its events ride back in the outcome as
+    ``trace`` (``to_dict``-shaped records, plus ``trace_dropped`` and
+    ``worker_pid``) — the coordinator merges them into its own stream
+    on a per-task track (see ``FleetRunner``).
 
     Exceptions (including :class:`TaskTimeout`) propagate to the caller
     — in a pool that means through the future, back to the runner.
     """
     start = time.perf_counter()
-    with _deadline(timeout_s):
-        value = resolve_callable(fn)(*payload, **params)
-    return {"value": value, "wall_s": time.perf_counter() - start}
+    if not collect_trace:
+        with _deadline(timeout_s):
+            value = resolve_callable(fn)(*payload, **params)
+        return {"value": value, "wall_s": time.perf_counter() - start}
+
+    from repro.obs.tracer import Tracer, installed
+
+    tracer = Tracer(capacity=WORKER_TRACE_CAPACITY)
+    with installed(tracer):
+        with _deadline(timeout_s):
+            value = resolve_callable(fn)(*payload, **params)
+    tracer.flush()
+    return {
+        "value": value,
+        "wall_s": time.perf_counter() - start,
+        "trace": [event.to_dict() for event in tracer.events],
+        "trace_dropped": tracer.dropped,
+        "worker_pid": os.getpid(),
+    }
 
 
-def run_task(task, timeout_s=None):
+def run_task(task, timeout_s=None, collect_trace=False):
     """:func:`execute_task` for a :class:`~repro.fleet.spec.Task`.
 
     A per-task ``timeout_s`` overrides the campaign-level default.
     """
     budget = task.timeout_s if task.timeout_s is not None else timeout_s
-    return execute_task(task.fn, task.params, task.payload, budget)
+    return execute_task(task.fn, task.params, task.payload, budget,
+                        collect_trace=collect_trace)

@@ -39,6 +39,13 @@ class ExternalSupply:
     def residual(self):
         return float("inf")
 
+    # snapshot protocol (repro.snapshot) — no heap entries to claim
+    def __snapshot__(self, ctx):
+        return {"drawn": self.drawn}
+
+    def __restore__(self, state, ctx):
+        self.drawn = state["drawn"]
+
 
 class Battery:
     """An ideal (voltage-flat, rate-independent) energy reservoir.
@@ -61,6 +68,12 @@ class Battery:
             raise SupplyError(f"cannot drain negative energy {joules}")
         self.drawn = min(self.capacity, self.drawn + joules)
 
+    def charge(self, joules):
+        """Grow the reservoir mid-run (battery swap, revised estimate)."""
+        if joules < 0:
+            raise SupplyError(f"cannot charge negative energy {joules}")
+        self.capacity += joules
+
     @property
     def residual(self):
         """Joules remaining."""
@@ -75,3 +88,13 @@ class Battery:
     def fraction_remaining(self):
         """Residual energy as a fraction of capacity."""
         return self.residual / self.capacity
+
+    # snapshot protocol (repro.snapshot) — no heap entries to claim
+    def __snapshot__(self, ctx):
+        return {"capacity": self.capacity, "drawn": self.drawn}
+
+    def __restore__(self, state, ctx):
+        # Capacity is runtime state, not a build constant: charge() can
+        # have grown it between construction and capture.
+        self.capacity = state["capacity"]
+        self.drawn = state["drawn"]

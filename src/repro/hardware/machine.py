@@ -48,8 +48,6 @@ sampling, and tests assert the two agree.
 
 from __future__ import annotations
 
-import itertools
-
 from repro.hardware.component import HardwareError
 from repro.obs.metrics import current_metrics
 from repro.sim.resources import Resource
@@ -154,11 +152,13 @@ class Machine:
         self._ctx_bottom = _ContextNode(0, IDLE_PROCESS, IDLE_PROCEDURE)
         self._ctx_top = self._ctx_bottom
         self._ctx_nodes = {}
-        self._context_tokens = itertools.count(1)
+        # Plain integers rather than itertools.count so a snapshot can
+        # read and restore the counters without burning values.
+        self._next_context_token = 1
         self._context = (IDLE_PROCESS, IDLE_PROCEDURE)
 
         self._overlays = {}
-        self._overlay_tokens = itertools.count(1)
+        self._next_overlay_token = 1
         self._overlays_snapshot = ()
 
         # Cached instantaneous power (piecewise constant between
@@ -282,7 +282,8 @@ class Machine:
     def push_context(self, process, procedure="main"):
         """Enter an attribution context; returns a token for pop."""
         self.advance()
-        token = next(self._context_tokens)
+        token = self._next_context_token
+        self._next_context_token = token + 1
         node = _ContextNode(token, process, procedure)
         node.prev = self._ctx_top
         self._ctx_top.next = node
@@ -326,7 +327,8 @@ class Machine:
         if not 0.0 <= fraction <= 1.0:
             raise HardwareError(f"overlay fraction {fraction} outside [0, 1]")
         self.advance()
-        handle = next(self._overlay_tokens)
+        handle = self._next_overlay_token
+        self._next_overlay_token = handle + 1
         self._overlays[handle] = (fraction, process, procedure)
         self._overlays_snapshot = tuple(self._overlays.values())
         return handle
@@ -607,3 +609,136 @@ class Machine:
         return dict(
             sorted(self.energy_by_process.items(), key=lambda kv: -kv[1])
         )
+
+    # ------------------------------------------------------------------
+    # snapshot protocol (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __snapshot__(self, ctx):
+        """Serialize the full accounting state, journal included.
+
+        Deliberately does NOT :meth:`advance` first: capture is
+        side-effect free, and the not-yet-integrated span between
+        ``_last_update`` and ``sim.now`` is integrated by the branch's
+        first advance exactly as the uninterrupted run would.  The raw
+        journal is serialized without folding — fold points are part of
+        the replayable state.  The machine owns no heap entries, so it
+        claims nothing.
+        """
+        if self._journal_pins:
+            raise HardwareError(
+                "cannot snapshot a machine while its journal is pinned"
+            )
+        stack = []
+        node = self._ctx_bottom.next
+        while node is not None:
+            stack.append([node.token, node.process, node.procedure])
+            node = node.next
+        return {
+            "components": {
+                name: comp.state for name, comp in self.components.items()
+            },
+            "context_stack": stack,
+            "next_context_token": self._next_context_token,
+            "overlays": [
+                [token, fraction, process, procedure]
+                for token, (fraction, process, procedure)
+                in self._overlays.items()
+            ],
+            "next_overlay_token": self._next_overlay_token,
+            "power": self._power,
+            "correction_value": self._correction_value,
+            "comp_powers": [list(cp) for cp in self._comp_powers],
+            "power_dirty": self._power_dirty,
+            "journal": [
+                [s.t0, s.t1, s.power, list(s.context),
+                 [list(o) for o in s.overlays],
+                 [list(cp) for cp in s.comp_powers], s.correction, s.sid]
+                for s in self._journal
+            ],
+            "fold_index": self._fold_index,
+            "folded_journal_energy": self._folded_journal_energy,
+            "sid": self._sid,
+            "last_emitted_sid": self._last_emitted_sid,
+            "last_update": self._last_update,
+            "energy_total": self.energy_total,
+            "energy_by_process": dict(self._energy_by_process),
+            "energy_by_procedure": [
+                [process, procedure, joules]
+                for (process, procedure), joules
+                in self._energy_by_procedure.items()
+            ],
+            "energy_by_component": dict(self._energy_by_component),
+        }
+
+    def __restore__(self, state, ctx):
+        if set(state["components"]) != set(self.components):
+            raise HardwareError(
+                f"snapshot components {sorted(state['components'])} do not "
+                f"match machine components {sorted(self.components)}"
+            )
+        for name, comp_state in state["components"].items():
+            component = self.components[name]
+            if comp_state not in component.states:
+                raise HardwareError(
+                    f"{name}: snapshot state {comp_state!r} unknown"
+                )
+            component.state = comp_state
+        self._ctx_nodes = {}
+        self._ctx_top = self._ctx_bottom
+        self._ctx_bottom.next = None
+        for token, process, procedure in state["context_stack"]:
+            node = _ContextNode(int(token), process, procedure)
+            node.prev = self._ctx_top
+            self._ctx_top.next = node
+            self._ctx_top = node
+            self._ctx_nodes[node.token] = node
+        self._next_context_token = int(state["next_context_token"])
+        self._context = (self._ctx_top.process, self._ctx_top.procedure)
+        self._overlays = {
+            int(token): (fraction, process, procedure)
+            for token, fraction, process, procedure in state["overlays"]
+        }
+        self._next_overlay_token = int(state["next_overlay_token"])
+        self._overlays_snapshot = tuple(self._overlays.values())
+        self._power = state["power"]
+        self._correction_value = state["correction_value"]
+        self._comp_powers = tuple(
+            (name, watts) for name, watts in state["comp_powers"]
+        )
+        self._power_dirty = bool(state["power_dirty"])
+        self._journal = [
+            PowerSegment(
+                t0, t1, power, tuple(context),
+                tuple(tuple(o) for o in overlays),
+                tuple(tuple(cp) for cp in comp_powers),
+                correction, sid=sid,
+            )
+            for t0, t1, power, context, overlays, comp_powers, correction,
+            sid in state["journal"]
+        ]
+        # `advance` merges the open segment via identity (`is`) checks
+        # on the context/overlays/component-power tuples, so wherever
+        # the values still agree the open segment must share the
+        # machine's *current* objects — otherwise the first post-restore
+        # advance would open a spurious segment the uninterrupted run
+        # never has.
+        if self._journal:
+            last = self._journal[-1]
+            if last.context == self._context:
+                last.context = self._context
+            if last.overlays == self._overlays_snapshot:
+                last.overlays = self._overlays_snapshot
+            if last.comp_powers == self._comp_powers:
+                last.comp_powers = self._comp_powers
+        self._fold_index = int(state["fold_index"])
+        self._folded_journal_energy = state["folded_journal_energy"]
+        self._sid = int(state["sid"])
+        self._last_emitted_sid = int(state["last_emitted_sid"])
+        self._last_update = state["last_update"]
+        self.energy_total = state["energy_total"]
+        self._energy_by_process = dict(state["energy_by_process"])
+        self._energy_by_procedure = {
+            (process, procedure): joules
+            for process, procedure, joules in state["energy_by_procedure"]
+        }
+        self._energy_by_component = dict(state["energy_by_component"])

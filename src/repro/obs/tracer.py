@@ -255,6 +255,27 @@ class Tracer:
             TraceEvent(ts, self.wall(), cat, name, COMPLETE, track, dur, args)
         )
 
+    def replay(self, record, cat=None, name=None, track=None):
+        """Re-emit a previously exported event dict (``to_dict`` shape).
+
+        The domain timestamp, phase, duration, and args are preserved;
+        ``wall`` is restamped against this tracer's clock.  ``cat``,
+        ``name`` and ``track`` override the record's own values — the
+        fleet runner uses this to merge worker ring buffers into the
+        coordinator's stream under the ``fleet`` category on per-task
+        tracks, without colliding with the coordinator's sim-domain
+        tracks.
+        """
+        return self._emit(TraceEvent(
+            record["ts"], self.wall(),
+            cat if cat is not None else record.get("cat"),
+            name if name is not None else record.get("name"),
+            record.get("ph", INSTANT),
+            track if track is not None else record.get("track"),
+            record.get("dur"),
+            record.get("args"),
+        ))
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -311,6 +332,9 @@ class NullTracer:
         return None
 
     def complete(self, *args, **kwargs):
+        return None
+
+    def replay(self, *args, **kwargs):
         return None
 
     def add_flush_hook(self, hook):

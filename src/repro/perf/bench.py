@@ -260,6 +260,90 @@ def bench_tracer_overhead(quick, repeats):
     }
 
 
+def bench_snapshot_capture(quick, repeats):
+    """Cost of checkpointing the whole pulse stack mid-run.
+
+    Capture is the hot half of lookahead (every non-hold proposal pays
+    one capture), so it must stay cheap relative to a decision period.
+    """
+    from repro.snapshot.scenario import build_pulse_scenario
+    from repro.snapshot.state import Snapshot
+
+    count = 200 if quick else 1_000
+    scenario = build_pulse_scenario().start().run(until=120.0)
+
+    def run():
+        snap = None
+        for _ in range(count):
+            snap = Snapshot.capture(scenario.sim)
+        return snap
+
+    seconds, snap = _best_of(run, max(repeats, _MIN_CHEAP_REPEATS))
+    return {
+        "seconds": seconds,
+        "captures": count,
+        "captures_per_s": count / seconds if seconds else 0.0,
+        "payload_events": len(snap.payload["events"]),
+        "payload_objects": len(snap.payload["states"]),
+    }
+
+
+def bench_snapshot_restore(quick, repeats):
+    """Cost of rebuilding a full branch stack from one snapshot.
+
+    Restore rebuilds the machine, journal, controller, and event heap
+    from the payload — the other half of every lookahead fork and the
+    warm-start path of fleet sweeps.
+    """
+    from repro.snapshot.scenario import build_pulse_scenario
+    from repro.snapshot.state import Snapshot
+
+    count = 20 if quick else 100
+    scenario = build_pulse_scenario().start().run(until=120.0)
+    snap = Snapshot.capture(scenario.sim)
+
+    def run():
+        branch = None
+        for _ in range(count):
+            branch = snap.restore()
+        return branch
+
+    seconds, _ = _best_of(run, max(repeats, _MIN_CHEAP_REPEATS))
+    return {
+        "seconds": seconds,
+        "restores": count,
+        "restores_per_s": count / seconds if seconds else 0.0,
+    }
+
+
+def bench_fork_lookahead(quick, repeats):
+    """One full lookahead-policy goal run: fork + branch-advance bound.
+
+    The dominant cost is the per-decision what-if evaluation (capture,
+    two forks, two horizon advances); ``branches_per_s`` is the
+    end-to-end throughput including the parent's own simulation.
+    """
+    from repro.snapshot.scenario import run_pulse_goal
+
+    goal, energy = (90.0, 780.0) if quick else (290.0, 2_400.0)
+
+    def run():
+        return run_pulse_goal(goal_seconds=goal, initial_energy=energy,
+                              lookahead=True)
+
+    seconds, summary = _best_of(run, repeats)
+    look = summary["lookahead"]
+    return {
+        "seconds": seconds,
+        "branches": look["branches_run"],
+        "branches_per_s": (
+            look["branches_run"] / seconds if seconds else 0.0
+        ),
+        "evaluations": look["evaluations"],
+        "goal_met": summary["goal_met"],
+    }
+
+
 _BENCHES = {
     "calibration": bench_calibration,
     "engine_events": bench_engine_events,
@@ -267,6 +351,9 @@ _BENCHES = {
     "figure_cell": bench_figure_cell,
     "fig22_longduration": bench_fig22_longduration,
     "tracer_overhead": bench_tracer_overhead,
+    "snapshot_capture": bench_snapshot_capture,
+    "snapshot_restore": bench_snapshot_restore,
+    "fork_lookahead": bench_fork_lookahead,
 }
 
 BENCH_NAMES = tuple(_BENCHES)
@@ -404,6 +491,15 @@ def _detail(name, metrics):
                 f"({metrics['enabled_ratio']:.2f}x when recording)")
     if name == "calibration":
         return f"{metrics['iterations']:,} iterations"
+    if name == "snapshot_capture":
+        return (f"{metrics['captures_per_s']:,.0f} captures/s "
+                f"({metrics['payload_objects']} objects, "
+                f"{metrics['payload_events']} events)")
+    if name == "snapshot_restore":
+        return f"{metrics['restores_per_s']:,.0f} restores/s"
+    if name == "fork_lookahead":
+        return (f"{metrics['branches']} branches, "
+                f"{metrics['branches_per_s']:,.0f}/s")
     return ""
 
 

@@ -79,3 +79,25 @@ class OnlinePowerMonitor:
         for callback in self.subscribers:
             callback(now, self.last_power, dt)
         self._entry = self.sim.schedule(self.period, self._tick)
+
+    # ------------------------------------------------------------------
+    # snapshot protocol (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __snapshot__(self, ctx):
+        ctx.claim(self._entry, "tick")
+        return {
+            "running": self._running,
+            "last_power": self.last_power,
+            "last_sample_time": self._last_sample_time,
+        }
+
+    def __restore__(self, state, ctx):
+        # Subscribers are re-wired by whoever subscribed (the goal
+        # controller's __restore__), not serialized as callables.
+        self._running = bool(state["running"])
+        self.last_power = state["last_power"]
+        self._last_sample_time = state["last_sample_time"]
+        for when, seq, kind in ctx.events():
+            if kind != "tick":
+                raise ValueError(f"unexpected monitor event kind {kind!r}")
+            self._entry = ctx.push(when, seq, self._tick)

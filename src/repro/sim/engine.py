@@ -16,7 +16,6 @@ random seed is exactly reproducible run-to-run.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 
 from repro.obs.tracer import current_tracer
@@ -102,9 +101,16 @@ class Simulator:
     def __init__(self, start_time=0.0, tracer=None):
         self.now = float(start_time)
         self._heap = []
-        self._sequence = itertools.count()
+        # A plain integer rather than itertools.count so a snapshot can
+        # read and restore the counter without burning a value.
+        self._next_seq = 0
         self._processes = []
         self._cancelled = set()
+        # Snapshot support (repro.snapshot): objects registered here are
+        # walked by Snapshot.capture in registration order; the builder
+        # reference names the callable that can rebuild this stack.
+        self._snapshottables = {}
+        self.snapshot_builder = None
         # Tracing (repro.obs): explicit tracer, else the process-wide
         # installed one (the null tracer unless e.g. the CLI's --trace
         # installed a recorder).  The gate is None when the "sim"
@@ -120,7 +126,9 @@ class Simulator:
         """Run ``callback(sim_time)`` after ``delay`` simulated seconds."""
         if delay < 0 or math.isnan(delay):
             raise SchedulingError(f"cannot schedule {delay!r}s in the past")
-        entry = (self.now + delay, next(self._sequence), callback)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = (self.now + delay, seq, callback)
         heapq.heappush(self._heap, entry)
         return entry
 
@@ -231,3 +239,45 @@ class Simulator:
         while heap and cancelled and heap[0][1] in cancelled:
             cancelled.discard(heapq.heappop(heap)[1])
         return heap[0][0] if heap else None
+
+    # ------------------------------------------------------------------
+    # state capture (see repro.snapshot)
+    # ------------------------------------------------------------------
+    def register_snapshottable(self, key, obj):
+        """Register an object implementing ``__snapshot__``/``__restore__``.
+
+        ``Snapshot.capture`` walks registered objects in registration
+        order; each must claim every pending heap entry it owns, so a
+        capture with an unclaimed live event fails loudly instead of
+        silently dropping it.
+        """
+        if key in self._snapshottables:
+            raise SchedulingError(f"duplicate snapshottable key {key!r}")
+        if not hasattr(obj, "__snapshot__") or not hasattr(obj, "__restore__"):
+            raise SchedulingError(
+                f"{key!r} does not implement __snapshot__/__restore__"
+            )
+        self._snapshottables[key] = obj
+        return obj
+
+    @property
+    def snapshottables(self):
+        """Registered ``{key: object}`` mapping, in registration order."""
+        return dict(self._snapshottables)
+
+    def live_entries(self):
+        """Pending ``(when, seq, callback)`` entries, tombstones excluded."""
+        cancelled = self._cancelled
+        return sorted(e for e in self._heap if e[1] not in cancelled)
+
+    def restore_entry(self, when, seq, callback):
+        """Re-push a captured heap entry with its original stamps.
+
+        Used only by snapshot restore: the original ``(when, seq)`` pair
+        is preserved so same-instant FIFO ties break exactly as they
+        would have in the uninterrupted run.  The sequence counter is
+        not consumed.
+        """
+        entry = (when, seq, callback)
+        heapq.heappush(self._heap, entry)
+        return entry

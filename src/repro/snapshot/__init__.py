@@ -1,0 +1,33 @@
+"""repro.snapshot: deterministic checkpoint/fork of the simulated stack.
+
+The subsystem has four layers:
+
+* :mod:`repro.snapshot.protocol` — the ``__snapshot__``/``__restore__``
+  duck protocol plus the capture/restore contexts that carry pending
+  heap events across the boundary with their original ``(when, seq)``
+  stamps.
+* :mod:`repro.snapshot.state` — :class:`Snapshot`: capture a registered
+  stack into a JSON-shaped payload, ``fork()`` independent branches,
+  restore byte-identical continuations.
+* :mod:`repro.snapshot.disk` — :class:`SnapshotStore`: the versioned,
+  sha256-addressed on-disk format fleet campaigns warm-start from.
+* :mod:`repro.snapshot.lookahead` — :class:`WhatIfEvaluator` and
+  :class:`LookaheadGoalController`: fork a branch per candidate
+  fidelity action at each adaptation decision, advance a horizon, and
+  score predicted energy against the goal.
+
+:mod:`repro.snapshot.scenario` provides the snapshot-capable goal rig
+(timer-driven workloads — no generator processes), and
+:mod:`repro.snapshot.warm` the warm-started fleet sweep built on it.
+"""
+
+from repro.snapshot.disk import SnapshotStore, snapshot_key
+from repro.snapshot.protocol import SnapshotError
+from repro.snapshot.state import Snapshot
+
+__all__ = [
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotStore",
+    "snapshot_key",
+]

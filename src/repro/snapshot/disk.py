@@ -1,0 +1,138 @@
+"""On-disk snapshot store: versioned, sha256-addressed, atomic.
+
+Follows :class:`repro.fleet.cache.ResultCache`'s layout — one JSON file
+per record in a directory, written via tempfile + rename so a killed
+run never leaves a truncated snapshot — but keyed by *scenario prefix
+identity*: :func:`snapshot_key` hashes the builder path, the builder
+params, and the capture instant, so every fleet sweep point sharing a
+scenario prefix resolves to the same stored snapshot and restores
+instead of re-simulating (see :mod:`repro.snapshot.warm`).
+
+Each record wraps the snapshot payload with its own content digest;
+a record whose body no longer matches its digest (disk fault, partial
+legacy write) is treated as a miss and discarded, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.fleet.spec import canonical_json
+from repro.snapshot.protocol import SnapshotError
+from repro.snapshot.state import PAYLOAD_VERSION, Snapshot
+
+__all__ = ["SnapshotStore", "snapshot_key"]
+
+#: Bump to invalidate every stored snapshot (record layout changed).
+STORE_VERSION = 1
+
+
+def snapshot_key(builder, params, at_time):
+    """Stable hex digest identifying one scenario prefix.
+
+    Two campaigns capture-compatible up to ``at_time`` — same builder,
+    same params, same capture instant — share a key regardless of what
+    they do afterwards, which is exactly the prefix-sharing property
+    warm-started sweeps need.
+    """
+    text = canonical_json({
+        "v": STORE_VERSION,
+        "payload_v": PAYLOAD_VERSION,
+        "builder": builder,
+        "params": params,
+        "t": float(at_time),
+    })
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class SnapshotStore:
+    """A directory of ``<key>.snap.json`` snapshot records."""
+
+    def __init__(self, directory):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path(self, key):
+        return os.path.join(self.directory, f"{key}.snap.json")
+
+    # ------------------------------------------------------------------
+    def put(self, key, snapshot):
+        """Atomically store a :class:`Snapshot` under ``key``."""
+        body = canonical_json(snapshot.payload)
+        record = {
+            "store_version": STORE_VERSION,
+            "sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+            "payload": snapshot.payload,
+        }
+        text = json.dumps(record, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return key
+
+    def get(self, key):
+        """Load the :class:`Snapshot` stored under ``key``, or ``None``.
+
+        Version skew and integrity failures are misses (the record is
+        discarded), matching the fleet cache's corrupt-record policy.
+        """
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.discard(key)
+            return None
+        if record.get("store_version") != STORE_VERSION:
+            self.discard(key)
+            return None
+        payload = record.get("payload")
+        if payload is None or payload.get("version") != PAYLOAD_VERSION:
+            self.discard(key)
+            return None
+        body = canonical_json(payload)
+        if hashlib.sha256(body.encode("utf-8")).hexdigest() != record.get("sha256"):
+            self.discard(key)
+            return None
+        return Snapshot(payload)
+
+    def require(self, key):
+        snapshot = self.get(key)
+        if snapshot is None:
+            raise SnapshotError(f"no snapshot stored under {key}")
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def discard(self, key):
+        try:
+            os.unlink(self.path(key))
+        except OSError:
+            pass
+
+    def keys(self):
+        suffix = ".snap.json"
+        return [
+            name[: -len(suffix)]
+            for name in os.listdir(self.directory)
+            if name.endswith(suffix) and not name.startswith(".tmp-")
+        ]
+
+    def __len__(self):
+        return len(self.keys())
+
+    def __contains__(self, key):
+        return os.path.exists(self.path(key))

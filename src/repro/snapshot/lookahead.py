@@ -1,0 +1,187 @@
+"""Lookahead what-if evaluation: vet adaptation decisions on forks.
+
+The goal-directed controller's hysteresis trigger extrapolates demand
+from *smoothed history*; a pulsed workload can therefore talk it into
+degrading during a transient burst or upgrading right before one.  The
+:class:`WhatIfEvaluator` replaces extrapolation with *measurement*: at
+each non-hold proposal it captures the whole stack, forks one branch
+per candidate action, advances each a configurable horizon under a
+private null tracer, and scores the branch's measured energy against
+the goal.
+
+Scoring
+-------
+For a branch that spent ``E_H`` joules over horizon ``H`` with ``R``
+joules residual and ``T`` seconds remaining at the decision::
+
+    margin = (R - E_H) - (E_H / H) * (T - H)
+
+i.e. the joules left at the goal if the branch's measured burn rate
+held.  A DEGRADE proposal is accepted only when the *hold* branch's
+margin is negative (holding would miss the goal); an UPGRADE proposal
+only when the *upgraded* branch's margin is non-negative (the richer
+fidelity still makes the goal).
+
+Branch runs are invisible to the parent's metrics and decision spine:
+they fork with ``NULL_TRACER`` plus a fresh registry, and the parent
+emits their verdicts on the ``branch`` category/track, which
+:func:`repro.obs.diff.decision_spine` (``core`` only) never reads.
+"""
+
+from __future__ import annotations
+
+from repro.core.goal import GoalDirectedController
+from repro.core.hysteresis import DEGRADE, HOLD, UPGRADE
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.snapshot.state import Snapshot
+
+__all__ = ["WhatIfEvaluator", "LookaheadGoalController"]
+
+
+class WhatIfEvaluator:
+    """Fork-and-measure evaluation of candidate adaptation actions."""
+
+    def __init__(self, sim, horizon=12.0):
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.sim = sim
+        self.horizon = horizon
+        self.evaluations = 0
+        self.branches_run = 0
+
+    def evaluate(self, actions, residual, remaining, did=None, trace=None):
+        """Run one branch per action; return ``{action: verdict}``.
+
+        Each verdict carries the branch's measured joules over the
+        (goal-clamped) horizon and the projected margin at the goal.
+        """
+        snapshot = Snapshot.capture(self.sim)
+        horizon = min(self.horizon, remaining)
+        self.evaluations += 1
+        return {
+            action: self._run_branch(snapshot, action, residual, remaining,
+                                     horizon, did, trace)
+            for action in actions
+        }
+
+    def _run_branch(self, snapshot, action, residual, remaining, horizon,
+                    did, trace):
+        # Branches are plain-policy (no nested lookahead) and private:
+        # an explicit null tracer keeps the branch sim from resolving
+        # the process-installed tracer, and a fresh registry keeps its
+        # counters out of the parent's metrics.
+        scenario = snapshot.fork(
+            lookahead=False, tracer=NULL_TRACER, metrics=MetricsRegistry()
+        )
+        if action == DEGRADE:
+            scenario.viceroy.degrade_once(decision_id=did)
+        elif action == UPGRADE:
+            scenario.viceroy.upgrade_once(decision_id=did)
+        machine = scenario.machine
+        t0 = scenario.sim.now
+        start_energy = machine.finish()
+        scenario.sim.run(until=t0 + horizon)
+        energy = machine.finish() - start_energy
+        rate = energy / horizon if horizon > 0 else 0.0
+        margin = (residual - energy) - rate * max(0.0, remaining - horizon)
+        self.branches_run += 1
+        verdict = {
+            "action": action,
+            "energy_j": energy,
+            "rate_w": rate,
+            "margin_j": margin,
+            "horizon_s": horizon,
+        }
+        if trace is not None:
+            trace.instant(t0, "branch", f"branch.{action}", track="branch",
+                          args=dict(verdict, did=did))
+        return verdict
+
+
+class LookaheadGoalController(GoalDirectedController):
+    """Goal controller that vets trigger proposals on forked branches.
+
+    HOLD proposals pass through untouched (no forking on the steady
+    path), as do upgrades still inside the rate limit.  Every other
+    proposal is measured: the trigger proposes, the evaluator forks a
+    hold branch and an acted branch, and the proposal only stands when
+    the margins say it should.
+    """
+
+    def __init__(self, viceroy, monitor, initial_energy, goal_seconds,
+                 horizon=12.0, **kwargs):
+        super().__init__(viceroy, monitor, initial_energy, goal_seconds,
+                         **kwargs)
+        self.horizon = horizon
+        self.evaluator = WhatIfEvaluator(self.sim, horizon=horizon)
+        self.lookahead_evaluations = 0
+        self.overrides = 0
+        tracer = getattr(self.sim, "tracer", None)
+        self._branch_trace = (
+            tracer.gate("branch") if tracer is not None else None
+        )
+
+    def _choose_action(self, now, did, demand, residual):
+        proposal = self.trigger.decide(demand, residual)
+        if proposal == HOLD or self.sim.snapshot_builder is None:
+            return proposal
+        if proposal == UPGRADE and not self._upgrade_allowed(now):
+            # The rate limit will veto it anyway; don't pay for forks.
+            return proposal
+        remaining = self.time_remaining
+        if min(self.horizon, remaining) <= self.decision_period:
+            return proposal
+        verdicts = self.evaluator.evaluate(
+            (HOLD, proposal), residual, remaining,
+            did=did, trace=self._branch_trace,
+        )
+        self.lookahead_evaluations += 1
+        if proposal == DEGRADE:
+            accepted = verdicts[HOLD]["margin_j"] < 0.0
+        else:
+            accepted = verdicts[proposal]["margin_j"] >= 0.0
+        if not accepted:
+            self.overrides += 1
+        if self._branch_trace is not None:
+            self._branch_trace.instant(
+                now, "branch", "lookahead.verdict", track="branch",
+                args={
+                    "did": did,
+                    "proposal": proposal,
+                    "accepted": accepted,
+                    "hold_margin_j": verdicts[HOLD]["margin_j"],
+                    "action_margin_j": verdicts[proposal]["margin_j"],
+                },
+            )
+        return proposal if accepted else HOLD
+
+    def lookahead_summary(self):
+        return {
+            "horizon_s": self.horizon,
+            "evaluations": self.lookahead_evaluations,
+            "overrides": self.overrides,
+            "branches_run": self.evaluator.branches_run,
+        }
+
+    # ------------------------------------------------------------------
+    # snapshot protocol (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __snapshot__(self, ctx):
+        state = super().__snapshot__(ctx)
+        state["lookahead"] = {
+            "evaluations": self.lookahead_evaluations,
+            "overrides": self.overrides,
+            "branches_run": self.evaluator.branches_run,
+        }
+        return state
+
+    def __restore__(self, state, ctx):
+        super().__restore__(state, ctx)
+        # Absent when restoring a plain-policy capture into a lookahead
+        # stack; counters then start fresh, which is the honest reading.
+        extra = state.get("lookahead")
+        if extra:
+            self.lookahead_evaluations = int(extra["evaluations"])
+            self.overrides = int(extra["overrides"])
+            self.evaluator.branches_run = int(extra["branches_run"])

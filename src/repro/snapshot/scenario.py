@@ -1,0 +1,335 @@
+"""The snapshot-capable goal rig: a pulsed, timer-driven workload.
+
+The generator-based applications in :mod:`repro.apps` cannot cross a
+snapshot boundary (live frames are not serializable), so this module
+provides a workload built *entirely* from timer-driven state machines:
+each :class:`PulsedApp` drives its own power component through periodic
+active/idle pulses whose wattage scales with fidelity.  Pulse *timing*
+is fidelity-independent — adaptation changes joules, never the event
+timeline — which keeps decision instants aligned across policies and
+makes ``repro diff`` windows exact.
+
+Every stateful object registers with the simulator under a stable key
+and the simulator carries a builder reference, so
+:meth:`repro.snapshot.state.Snapshot.capture` can checkpoint the whole
+stack at any instant and :meth:`~repro.snapshot.state.Snapshot.fork`
+can branch it — the substrate for lookahead what-if evaluation
+(:mod:`repro.snapshot.lookahead`) and warm-started fleet sweeps
+(:mod:`repro.snapshot.warm`).
+
+Sizing
+------
+With the default 2 400 J and the pulse wattages below, the full-
+fidelity stack survives ~249 s and the floor-fidelity stack ~338 s;
+the default 290 s goal sits mid-bracket (the same placement the golden
+scenarios use), so a run both degrades early and upgrades late.
+"""
+
+from __future__ import annotations
+
+from repro.core.goal import GoalDirectedController
+from repro.core.viceroy import Viceroy
+from repro.hardware.battery import Battery
+from repro.hardware.component import PowerComponent
+from repro.hardware.machine import Machine
+from repro.obs.metrics import MetricsRegistry
+from repro.powerscope.online import OnlinePowerMonitor
+from repro.sim import Simulator
+
+__all__ = [
+    "PulsedApp",
+    "PulseScenario",
+    "build_pulse_scenario",
+    "run_pulse_goal",
+    "BUILDER_PATH",
+    "DEFAULT_GOAL_SECONDS",
+    "DEFAULT_INITIAL_ENERGY_J",
+]
+
+BUILDER_PATH = "repro.snapshot.scenario.build_pulse_scenario"
+
+DEFAULT_GOAL_SECONDS = 290.0
+DEFAULT_INITIAL_ENERGY_J = 2_400.0
+
+#: Background draw (display dim + standbys), the paper's 5.6 W floor.
+PLATFORM_WATTS = 5.6
+
+
+class PulsedApp:
+    """An adaptive application as a timer-driven pulse generator.
+
+    Every ``period`` seconds the app runs one burst of ``duty * period``
+    seconds: it pushes its attribution context, raises its component to
+    the wattage of the current fidelity level, and drops both at burst
+    end.  Fidelity changes take effect immediately (mid-burst included)
+    but never move a pulse edge.
+
+    Implements the :class:`~repro.core.priority.PriorityLadder` protocol
+    (``can_degrade``/``degrade``/...) and the snapshot protocol.
+    """
+
+    def __init__(self, sim, machine, name, component, levels, priority,
+                 period, duty, offset=0.0):
+        if not 0.0 < duty < 1.0:
+            raise ValueError(f"{name}: duty {duty} outside (0, 1)")
+        self.sim = sim
+        self.machine = machine
+        self.name = name
+        self.component = component
+        self.levels = [level for level, _watts in levels]
+        self.priority = priority
+        self.period = period
+        self.duty = duty
+        self.offset = offset
+        self.level_index = 0
+        self._started = False
+        self._active = False
+        self._token = None
+        self._entry = None
+
+    @property
+    def burst(self):
+        return self.duty * self.period
+
+    # ------------------------------------------------------------------
+    # priority-ladder protocol
+    # ------------------------------------------------------------------
+    def can_degrade(self):
+        return self.level_index < len(self.levels) - 1
+
+    def can_upgrade(self):
+        return self.level_index > 0
+
+    def degrade(self):
+        if not self.can_degrade():
+            raise ValueError(f"{self.name} already at lowest fidelity")
+        self.level_index += 1
+        self._apply_level()
+        return self.fidelity_level
+
+    def upgrade(self):
+        if not self.can_upgrade():
+            raise ValueError(f"{self.name} already at highest fidelity")
+        self.level_index -= 1
+        self._apply_level()
+        return self.fidelity_level
+
+    def _apply_level(self):
+        if self._active:
+            self.component.set_state(self.fidelity_level)
+
+    @property
+    def fidelity_level(self):
+        return self.levels[self.level_index]
+
+    @property
+    def fidelity_normalized(self):
+        if len(self.levels) == 1:
+            return 1.0
+        return 1.0 - self.level_index / (len(self.levels) - 1)
+
+    # ------------------------------------------------------------------
+    # pulse state machine
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._started:
+            return
+        self._started = True
+        self._entry = self.sim.schedule(self.offset, self._begin)
+
+    def _begin(self, _time):
+        self._active = True
+        self._token = self.machine.push_context(self.name, "pulse")
+        self.component.set_state(self.fidelity_level)
+        self._entry = self.sim.schedule(self.burst, self._end)
+
+    def _end(self, _time):
+        self.component.set_state("idle")
+        self.machine.pop_context(self._token)
+        self._token = None
+        self._active = False
+        self._entry = self.sim.schedule(self.period - self.burst, self._begin)
+
+    # ------------------------------------------------------------------
+    # snapshot protocol (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __snapshot__(self, ctx):
+        # One pending transition at most: the burst end while active,
+        # the next burst start while idle.
+        ctx.claim(self._entry, "end" if self._active else "begin")
+        return {
+            "started": self._started,
+            "active": self._active,
+            "level_index": self.level_index,
+            "token": self._token,
+            "priority": self.priority,
+        }
+
+    def __restore__(self, state, ctx):
+        # The component's power state is restored by the machine (the
+        # component is attached); only the pulse bookkeeping lives here.
+        self._started = bool(state["started"])
+        self._active = bool(state["active"])
+        self.level_index = int(state["level_index"])
+        self._token = state["token"]
+        self.priority = state["priority"]
+        for when, seq, kind in ctx.events():
+            callback = {"begin": self._begin, "end": self._end}[kind]
+            self._entry = ctx.push(when, seq, callback)
+
+
+class PulseScenario:
+    """The assembled stack: machine + monitor + viceroy + controller."""
+
+    def __init__(self, sim, machine, battery, monitor, viceroy, controller,
+                 apps, params):
+        self.sim = sim
+        self.machine = machine
+        self.battery = battery
+        self.monitor = monitor
+        self.viceroy = viceroy
+        self.controller = controller
+        self.apps = apps
+        self.params = params
+        self.failed_at = None
+
+    def start(self):
+        """Start the workload pulses and the goal controller."""
+        for app in self.apps:
+            app.start()
+        self.controller.start()
+        return self
+
+    def extend(self, extra_seconds, extra_energy=0.0):
+        """Revise the goal mid-run: later deadline, larger reservoir.
+
+        The controller's accounting and the physical battery move
+        together — extending the goal without growing the battery
+        would just relocate the exhaustion instant.
+        """
+        self.controller.extend_goal(extra_seconds, extra_energy)
+        if extra_energy:
+            self.battery.charge(extra_energy)
+        return self
+
+    def run(self, until=None):
+        """Step to the goal instant (or ``until``), exact at the end.
+
+        Stops early on battery exhaustion, recording ``failed_at``.
+        """
+        target = until if until is not None else self.controller.goal_time
+        if target is None:
+            target = self.params["goal_seconds"]
+        while self.failed_at is None:
+            next_at = self.sim.peek()
+            if next_at is None or next_at > target:
+                break
+            self.sim.step()
+            if self.battery.exhausted:
+                self.failed_at = self.sim.now
+        if self.failed_at is None:
+            self.sim.run(until=target)
+        self.machine.advance()
+        return self
+
+    def summary(self):
+        """JSON-shaped outcome record (the fleet task return value)."""
+        record = dict(self.controller.summary())
+        record.update({
+            "goal_met": self.failed_at is None,
+            "survived_seconds": (
+                self.failed_at if self.failed_at is not None else self.sim.now
+            ),
+            "energy_total_j": self.machine.energy_total,
+            "battery_residual_j": max(0.0, self.battery.residual),
+            "fidelity": {app.name: app.fidelity_level for app in self.apps},
+        })
+        lookahead = getattr(self.controller, "lookahead_summary", None)
+        if lookahead is not None:
+            record["lookahead"] = lookahead()
+        return record
+
+
+def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
+                         initial_energy=DEFAULT_INITIAL_ENERGY_J,
+                         decision_period=0.5, halflife_fraction=0.10,
+                         upgrade_min_interval=15.0, sample_period=0.1,
+                         lookahead=False, horizon=12.0,
+                         tracer=None, metrics=None):
+    """Build the pulse stack, never started, fully registered.
+
+    ``tracer``/``metrics`` are runtime environment, not scenario
+    identity: they are excluded from the recorded builder params, so a
+    branch forked with a private tracer still shares its parent's
+    snapshot key.
+    """
+    params = {
+        "goal_seconds": goal_seconds,
+        "initial_energy": initial_energy,
+        "decision_period": decision_period,
+        "halflife_fraction": halflife_fraction,
+        "upgrade_min_interval": upgrade_min_interval,
+        "sample_period": sample_period,
+        "lookahead": lookahead,
+        "horizon": horizon,
+    }
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    sim = Simulator(tracer=tracer)
+    battery = Battery(initial_energy)
+    machine = Machine(sim, battery, metrics=metrics)
+    machine.attach(PowerComponent("platform", {"on": PLATFORM_WATTS}, "on"))
+
+    codec_levels = [("full", 4.2), ("reduced", 3.0), ("half", 2.1),
+                    ("min", 1.3)]
+    radio_levels = [("fast", 2.6), ("slow", 1.7), ("trickle", 1.0)]
+    codec = machine.attach(PowerComponent(
+        "codec", dict({"idle": 0.35}, **dict(codec_levels)), "idle"
+    ))
+    radio = machine.attach(PowerComponent(
+        "radio", dict({"idle": 0.18}, **dict(radio_levels)), "idle"
+    ))
+    viewer = PulsedApp(sim, machine, "viewer", codec, codec_levels,
+                       priority=2, period=4.0, duty=0.6, offset=0.0)
+    sync = PulsedApp(sim, machine, "sync", radio, radio_levels,
+                     priority=1, period=6.0, duty=0.5, offset=1.0)
+
+    monitor = OnlinePowerMonitor(machine, period=sample_period)
+    viceroy = Viceroy(sim, machine=machine, metrics=metrics)
+    viceroy.register_application(viewer)
+    viceroy.register_application(sync)
+    if lookahead:
+        from repro.snapshot.lookahead import LookaheadGoalController
+
+        controller = LookaheadGoalController(
+            viceroy, monitor, initial_energy, goal_seconds,
+            halflife_fraction=halflife_fraction,
+            decision_period=decision_period,
+            upgrade_min_interval=upgrade_min_interval,
+            horizon=horizon,
+        )
+    else:
+        controller = GoalDirectedController(
+            viceroy, monitor, initial_energy, goal_seconds,
+            halflife_fraction=halflife_fraction,
+            decision_period=decision_period,
+            upgrade_min_interval=upgrade_min_interval,
+        )
+
+    sim.register_snapshottable("machine", machine)
+    sim.register_snapshottable("battery", battery)
+    sim.register_snapshottable("monitor", monitor)
+    sim.register_snapshottable("viceroy", viceroy)
+    sim.register_snapshottable("controller", controller)
+    sim.register_snapshottable("app.viewer", viewer)
+    sim.register_snapshottable("app.sync", sync)
+    sim.snapshot_builder = (BUILDER_PATH, params)
+    return PulseScenario(sim, machine, battery, monitor, viceroy,
+                         controller, [viewer, sync], params)
+
+
+def run_pulse_goal(**params):
+    """Build, start, run to the goal, and return the summary dict."""
+    scenario = build_pulse_scenario(**params)
+    scenario.start()
+    scenario.run()
+    return scenario.summary()

@@ -1,0 +1,111 @@
+"""Warm-started fleet sweeps: restore a shared scenario prefix from disk.
+
+The paper's Figure 22 experiment revises the battery-duration estimate
+mid-run; sweeping the revision (how much longer, how much extra energy)
+re-simulates the identical pre-revision prefix once per sweep point.
+This module factors that prefix out through the snapshot store: every
+sweep point computes the :func:`~repro.snapshot.disk.snapshot_key` of
+its scenario prefix — builder + params + the extension instant — and
+*restores* the stored snapshot instead of re-simulating when a
+previous point (any worker, any earlier campaign) already captured it.
+
+The warm path is exact, not approximate: restore reproduces the cold
+run byte-for-byte (see ``tests/test_snapshot_determinism.py``), so a
+warm-started campaign's results are identical to a cold one's — the
+``repro snapshot sweep`` CLI asserts exactly that, and the runner
+reports restored tasks in campaign telemetry (``restored``).
+"""
+
+from __future__ import annotations
+
+from repro.fleet.spec import CampaignSpec, Task
+from repro.snapshot.disk import SnapshotStore, snapshot_key
+from repro.snapshot.scenario import build_pulse_scenario
+from repro.snapshot.state import Snapshot
+
+__all__ = ["pulse_goal_summary", "build_warm_campaign"]
+
+TASK_FN = "repro.snapshot.warm.pulse_goal_summary"
+
+#: Default extension instant: deep enough that the prefix has real
+#: adaptation history, early enough that the suffix dominates runtime.
+DEFAULT_EXTEND_AT = 120.0
+
+
+def pulse_goal_summary(extend_by=0.0, extend_energy=0.0,
+                       extend_at=DEFAULT_EXTEND_AT, warm=False,
+                       snapshot_dir=None, **scenario_params):
+    """One sweep point: pulse scenario + mid-run goal extension.
+
+    Runs the pulse goal scenario to ``extend_at``, applies the goal
+    extension there, and runs to the (extended) goal.  With ``warm``
+    and a ``snapshot_dir``, the pre-extension prefix is restored from
+    the snapshot store when available; on a miss the prefix is
+    simulated cold and captured for every later sweep point.  The
+    returned summary carries ``snapshot_restored`` so the fleet runner
+    can count warm starts in campaign telemetry.
+    """
+    scenario = build_pulse_scenario(**scenario_params)
+    goal = scenario.params["goal_seconds"]
+    if extend_at >= goal:
+        raise ValueError(
+            f"extend_at {extend_at:g}s must precede the goal {goal:g}s"
+        )
+    restored = False
+    snapshot = None
+    store = None
+    key = None
+    if warm and snapshot_dir:
+        builder, params = scenario.sim.snapshot_builder
+        key = snapshot_key(builder, params, extend_at)
+        store = SnapshotStore(snapshot_dir)
+        snapshot = store.get(key)
+    if snapshot is not None:
+        scenario = snapshot.restore()
+        restored = True
+    else:
+        scenario.start()
+        scenario.sim.run(until=extend_at)
+        if store is not None:
+            store.put(key, Snapshot.capture(scenario.sim))
+    if extend_by or extend_energy:
+        scenario.extend(extend_by, extend_energy)
+    scenario.run()
+    summary = scenario.summary()
+    summary["snapshot_restored"] = restored
+    summary["extend_by"] = extend_by
+    summary["extend_energy"] = extend_energy
+    return summary
+
+
+def build_warm_campaign(extensions=(0.0, 20.0, 40.0, 60.0),
+                        lookahead_axis=(False, True),
+                        extend_at=DEFAULT_EXTEND_AT, energy_per_second=8.0,
+                        warm=True, snapshot_dir=None,
+                        name="pulse-extension-sweep", **scenario_params):
+    """Sweep goal extensions × adaptation policies as one campaign.
+
+    All tasks sharing a policy share one scenario prefix up to
+    ``extend_at``, so a warm campaign simulates each prefix once and
+    restores it ``len(extensions) - 1`` times.  Extensions are paired
+    with proportional extra energy (``energy_per_second`` joules per
+    extended second) so longer goals stay feasible — the same
+    relationship the paper's Figure 22 extension bears to its battery.
+    """
+    tasks = []
+    for lookahead in lookahead_axis:
+        for extend_by in extensions:
+            policy = "lookahead" if lookahead else "base"
+            params = dict(scenario_params)
+            params.update({
+                "extend_by": extend_by,
+                "extend_energy": extend_by * energy_per_second,
+                "extend_at": extend_at,
+                "warm": warm,
+                "snapshot_dir": snapshot_dir,
+                "lookahead": lookahead,
+            })
+            tasks.append(Task(
+                id=f"{policy}/ext{int(extend_by)}", fn=TASK_FN, params=params,
+            ))
+    return CampaignSpec(name=name, tasks=tasks)

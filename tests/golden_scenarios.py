@@ -29,6 +29,12 @@ GOAL_SECONDS = 197.0
 GOAL_ENERGY_J = 3000.0
 BURSTY_SEED = 3
 BURSTY_GOAL_SECONDS = 240.0
+#: The snapshot-capable pulse rig, pinned at its mid-bracket sizing
+#: (full fidelity survives ~249 s, floor ~338 s; see
+#: ``repro.snapshot.scenario``).
+PULSE_GOAL_SECONDS = 290.0
+PULSE_ENERGY_J = 2400.0
+LOOKAHEAD_HORIZON_S = 12.0
 
 
 def _run_goal(**controller_kwargs):
@@ -52,10 +58,27 @@ def _run_bursty():
     run_bursty_experiment(BURSTY_SEED, BURSTY_GOAL_SECONDS)
 
 
+def _run_pulse():
+    from repro.snapshot.scenario import run_pulse_goal
+
+    run_pulse_goal(goal_seconds=PULSE_GOAL_SECONDS,
+                   initial_energy=PULSE_ENERGY_J)
+
+
+def _run_pulse_lookahead():
+    from repro.snapshot.scenario import run_pulse_goal
+
+    run_pulse_goal(goal_seconds=PULSE_GOAL_SECONDS,
+                   initial_energy=PULSE_ENERGY_J,
+                   lookahead=True, horizon=LOOKAHEAD_HORIZON_S)
+
+
 SCENARIOS = {
     "goal-default": _run_goal_default,
     "goal-hysteresis-off": _run_goal_hysteresis_off,
     "bursty-supply": _run_bursty,
+    "goal-pulse": _run_pulse,
+    "goal-lookahead": _run_pulse_lookahead,
 }
 
 
@@ -70,3 +93,63 @@ def run_scenario(name):
         SCENARIOS[name]()
     tracer.flush()
     return decision_spine(tracer.events)
+
+
+# ----------------------------------------------------------------------
+# Campaign golden: task ordering + per-task retry counts
+# ----------------------------------------------------------------------
+#: Filename (without extension) of the campaign outcome golden.
+CAMPAIGN_GOLDEN = "campaign-demo"
+
+
+def campaign_ok(x):
+    """A task that succeeds on the first attempt."""
+    return {"x": x}
+
+
+def campaign_flaky(marker):
+    """Fails once, then succeeds: the retry path, deterministically.
+
+    The first attempt writes ``marker`` and raises; the retry sees the
+    file and succeeds — two attempts, every run, no randomness.
+    """
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        raise RuntimeError("transient failure (first attempt)")
+    return {"recovered": True}
+
+
+def campaign_doomed():
+    """Fails every attempt: exhausts the retry budget."""
+    raise RuntimeError("permanent failure")
+
+
+def run_campaign_scenario():
+    """Run the demo campaign; return ``[{id, status, attempts}, ...]``.
+
+    The record is the campaign-order outcome spine: which tasks ran,
+    what they resolved to, and how many attempts each took.  Changes to
+    the runner's ordering, retry, or failure-recording behaviour move
+    this record and fail the golden.
+    """
+    import tempfile
+
+    from repro.fleet.runner import FleetRunner
+    from repro.fleet.spec import CampaignSpec, Task
+
+    fn = "tests.golden_scenarios.campaign_{}"
+    with tempfile.TemporaryDirectory() as tmp:
+        marker = os.path.join(tmp, "flaky.marker")
+        spec = CampaignSpec(name=CAMPAIGN_GOLDEN, tasks=[
+            Task(id="ok/first", fn=fn.format("ok"), params={"x": 1}),
+            Task(id="flaky/recovers", fn=fn.format("flaky"),
+                 params={"marker": marker}),
+            Task(id="ok/second", fn=fn.format("ok"), params={"x": 2}),
+            Task(id="doomed/exhausts", fn=fn.format("doomed"), params={}),
+        ])
+        result = FleetRunner(jobs=1, retries=1, backoff_s=0.0).run(spec)
+    return [
+        {"id": r.task_id, "status": r.status, "attempts": r.attempts}
+        for r in result.results
+    ]

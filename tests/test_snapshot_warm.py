@@ -1,0 +1,95 @@
+"""Warm-started sweeps: prefix restore must be invisible in results."""
+
+from repro.fleet.runner import FleetRunner
+from repro.fleet.spec import canonical_json
+from repro.snapshot.warm import TASK_FN, build_warm_campaign, pulse_goal_summary
+
+#: Small-but-adaptive sizing: full fidelity misses, floor makes it.
+FAST = {"goal_seconds": 150.0, "initial_energy": 1250.0}
+EXTEND_AT = 60.0
+
+
+def _strip(summary):
+    return {k: v for k, v in summary.items() if k != "snapshot_restored"}
+
+
+def test_warm_miss_then_hit(tmp_path):
+    cold = pulse_goal_summary(extend_by=10.0, extend_energy=80.0,
+                              extend_at=EXTEND_AT, **FAST)
+    assert cold["snapshot_restored"] is False
+    miss = pulse_goal_summary(extend_by=10.0, extend_energy=80.0,
+                              extend_at=EXTEND_AT, warm=True,
+                              snapshot_dir=tmp_path, **FAST)
+    hit = pulse_goal_summary(extend_by=10.0, extend_energy=80.0,
+                             extend_at=EXTEND_AT, warm=True,
+                             snapshot_dir=tmp_path, **FAST)
+    assert miss["snapshot_restored"] is False
+    assert hit["snapshot_restored"] is True
+    assert canonical_json(_strip(cold)) == canonical_json(_strip(miss))
+    assert canonical_json(_strip(cold)) == canonical_json(_strip(hit))
+
+
+def test_sweep_points_share_one_prefix(tmp_path):
+    """Different extensions, same prefix: after the first point every
+    later point restores instead of re-simulating."""
+    flags = [
+        pulse_goal_summary(extend_by=ext, extend_energy=ext * 8.0,
+                           extend_at=EXTEND_AT, warm=True,
+                           snapshot_dir=tmp_path,
+                           **FAST)["snapshot_restored"]
+        for ext in (0.0, 10.0, 20.0)
+    ]
+    assert flags == [False, True, True]
+
+
+def test_policies_do_not_share_prefixes(tmp_path):
+    """The lookahead axis changes builder params, hence the key: a
+    lookahead point must never restore a plain-policy prefix."""
+    base = pulse_goal_summary(extend_at=EXTEND_AT, warm=True,
+                              snapshot_dir=tmp_path, **FAST)
+    look = pulse_goal_summary(extend_at=EXTEND_AT, warm=True,
+                              snapshot_dir=tmp_path, lookahead=True, **FAST)
+    assert base["snapshot_restored"] is False
+    assert look["snapshot_restored"] is False
+
+
+def test_campaign_structure():
+    spec = build_warm_campaign(extensions=(0.0, 20.0),
+                               lookahead_axis=(False, True),
+                               snapshot_dir="unused", **FAST)
+    assert [t.id for t in spec.tasks] == [
+        "base/ext0", "base/ext20", "lookahead/ext0", "lookahead/ext20",
+    ]
+    assert all(t.fn == TASK_FN for t in spec.tasks)
+    assert spec.tasks[1].params["extend_energy"] == 160.0
+    assert spec.tasks[3].params["lookahead"] is True
+
+
+def test_runner_counts_restored_tasks(tmp_path):
+    spec = build_warm_campaign(extensions=(0.0, 10.0),
+                               lookahead_axis=(False,),
+                               extend_at=EXTEND_AT,
+                               snapshot_dir=str(tmp_path), **FAST)
+    first = FleetRunner(jobs=1).run(spec)
+    assert first.ok
+    assert first.telemetry.restored == 1
+    assert first.telemetry.snapshot()["restored"] == 1
+
+    again = build_warm_campaign(extensions=(0.0, 10.0),
+                                lookahead_axis=(False,),
+                                extend_at=EXTEND_AT, name="again",
+                                snapshot_dir=str(tmp_path), **FAST)
+    second = FleetRunner(jobs=1).run(again)
+    assert second.telemetry.restored == 2
+    for a, b in zip(first.results, second.results):
+        assert canonical_json(_strip(a.value)) == canonical_json(
+            _strip(b.value))
+
+
+def test_cold_campaign_reports_zero_restored():
+    spec = build_warm_campaign(extensions=(0.0,), lookahead_axis=(False,),
+                               extend_at=EXTEND_AT, warm=False, **FAST)
+    result = FleetRunner(jobs=1).run(spec)
+    assert result.ok
+    assert result.telemetry.restored == 0
+    assert "restored" not in result.telemetry.render()

@@ -70,3 +70,43 @@ def test_perturbed_threshold_fails_golden(monkeypatch):
     )
     assert diff.first_divergence is not None
     assert diff.divergent_decisions > 0
+
+
+def test_campaign_matches_golden():
+    """The fleet's outcome spine — ordering, statuses, retry counts —
+    must match the committed campaign golden exactly."""
+    import json
+
+    from tests.golden_scenarios import CAMPAIGN_GOLDEN, run_campaign_scenario
+
+    path = os.path.join(os.path.dirname(golden_path("x")),
+                        f"{CAMPAIGN_GOLDEN}.json")
+    assert os.path.exists(path), (
+        f"missing golden {path}; generate it with "
+        f"scripts/regen_goldens.py --campaign"
+    )
+    with open(path, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    record = run_campaign_scenario()
+    assert record == golden, (
+        f"campaign outcome drifted from golden:\n"
+        f"  golden: {golden}\n  actual: {record}" + REBLESS_HINT
+    )
+
+
+def test_campaign_golden_exercises_retries():
+    """The campaign golden must cover all three outcome shapes."""
+    import json
+
+    from tests.golden_scenarios import CAMPAIGN_GOLDEN
+
+    path = os.path.join(os.path.dirname(golden_path("x")),
+                        f"{CAMPAIGN_GOLDEN}.json")
+    with open(path, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    statuses = {r["status"] for r in golden}
+    assert "ok" in statuses and "failed" in statuses
+    assert any(r["status"] == "ok" and r["attempts"] > 1 for r in golden), (
+        "no task recovered via retry — the golden does not pin the "
+        "retry path"
+    )
