@@ -14,10 +14,14 @@ code:
   as one parallel, cached fleet campaign
 * ``python -m repro diff a.jsonl b.jsonl`` — decision divergence and
   per-window energy deltas between two traced runs
-* ``python -m repro snapshot roundtrip|sweep`` — fork-determinism
-  check and the warm-started goal-extension sweep
+* ``python -m repro snapshot roundtrip|sweep|gc`` — fork-determinism
+  check, the warm-started goal-extension sweep, and store pruning
 * ``python -m repro bench`` — hot-path micro-benchmarks; with
   ``--compare BENCH_core.json`` a CI regression gate
+* ``python -m repro serve`` — start the persistent campaign service
+  (warm worker pool + shared cache, local HTTP)
+* ``python -m repro submit|status|result|queues`` — client verbs
+  against a running service
 
 Commands that run many independent simulations take ``--jobs N`` to
 execute them on the fleet's process pool (see ``repro.fleet``).
@@ -333,7 +337,7 @@ def build_parser():
                    help="ring-buffer capacity (default: unbounded)")
     p.add_argument("--categories", nargs="*", default=None,
                    choices=("sim", "power", "core", "powerscope", "fleet",
-                            "branch"),
+                            "branch", "service"),
                    help="restrict tracing to these categories")
     p.add_argument("--goal", type=float, default=None,
                    help="goal seconds (goal/bursty; default 400, "
@@ -452,6 +456,9 @@ def build_parser():
                    help="print a line per finished task")
     p.add_argument("--csv-dir", default=None,
                    help="also write one CSV per application table")
+    p.add_argument("--results-out", default=None, metavar="PATH",
+                   help="write the raw task values as canonical JSON "
+                        "(byte-comparable with `repro result --out`)")
     p.add_argument("--telemetry-out", default=None, metavar="PATH",
                    help="write the campaign telemetry snapshot as JSON")
     p.add_argument("--worker-trace", action="store_true",
@@ -462,14 +469,21 @@ def build_parser():
 
     p = sub.add_parser(
         "snapshot",
-        help="checkpoint/fork the pulse scenario: determinism roundtrip "
-             "or a warm-started extension sweep",
+        help="checkpoint/fork the pulse scenario: determinism roundtrip, "
+             "a warm-started extension sweep, or store pruning",
     )
-    p.add_argument("mode", choices=("roundtrip", "sweep"),
+    p.add_argument("mode", choices=("roundtrip", "sweep", "gc"),
                    help="roundtrip: capture mid-run, fork, verify the fork "
                         "finishes byte-identical to an uninterrupted run; "
                         "sweep: goal-extension campaign that restores the "
-                        "shared scenario prefix from --snapshot-dir")
+                        "shared scenario prefix from --snapshot-dir; "
+                        "gc: prune old snapshots from --snapshot-dir")
+    p.add_argument("--keep-latest", type=_nonnegative_int, default=None,
+                   metavar="N",
+                   help="gc: keep only the N most recent snapshots "
+                        "(pinned snapshots always survive)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="gc: report what would be deleted without deleting")
     p.add_argument("--at", type=float, default=120.0,
                    help="capture / extension instant in sim seconds "
                         "(default 120)")
@@ -493,6 +507,99 @@ def build_parser():
     p.add_argument("--telemetry-out", default=None, metavar="PATH",
                    help="write the campaign telemetry snapshot as JSON")
     add_obs_flags(p)
+
+    # ------------------------------------------------------------------
+    # campaign service
+    # ------------------------------------------------------------------
+    from repro.service.client import DEFAULT_ENDPOINT
+
+    def add_endpoint(p):
+        p.add_argument("--endpoint", default=DEFAULT_ENDPOINT,
+                       help=f"service base URL (default {DEFAULT_ENDPOINT})")
+
+    p = sub.add_parser(
+        "serve",
+        help="start the persistent campaign service: a warm worker pool "
+             "serving submitted campaigns over local HTTP",
+    )
+    p.add_argument("--workers", type=_positive_int, default=2,
+                   help="warm pool size (default 2)")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared result cache directory (all clients "
+                        "benefit from each other's completed tasks)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=7341,
+                   help="listen port (default 7341; 0 picks a free port)")
+    p.add_argument("--retries", type=_nonnegative_int, default=2,
+                   help="default extra attempts per failing task")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-task wall-clock budget in seconds")
+    p.add_argument("--heartbeat", type=float, default=0.2,
+                   help="worker heartbeat period in seconds (default 0.2)")
+    p.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                   help="declare a worker dead after this long without a "
+                        "heartbeat (default 5.0)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    add_obs_flags(p)
+
+    p = sub.add_parser(
+        "submit", help="submit a campaign to a running service"
+    )
+    add_endpoint(p)
+    p.add_argument("--sweep", action="store_true",
+                   help="submit the fidelity-study sweep campaign "
+                        "(the default; same campaign as `repro sweep`)")
+    p.add_argument("--spec", default=None, metavar="PATH",
+                   help="submit a campaign spec from a JSON file instead")
+    p.add_argument("--apps", nargs="*", default=None,
+                   choices=("video", "speech", "map", "web"),
+                   help="sweep: subset of applications")
+    p.add_argument("--trials", type=_positive_int, default=1,
+                   help="sweep: jittered trials per cell")
+    p.add_argument("--think", type=float, default=None,
+                   help="sweep: think time in seconds (map/web)")
+    p.add_argument("--queue", default="default",
+                   help="named queue to submit into (default 'default')")
+    p.add_argument("--priority", type=int, default=0,
+                   help="priority within the queue (higher runs first)")
+    p.add_argument("--client", default=None,
+                   help="client label recorded on the job")
+    p.add_argument("--retries", type=_nonnegative_int, default=None,
+                   help="override the service's per-task retry budget")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="override the service's per-task timeout")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal; exit nonzero "
+                        "if any task permanently failed")
+    p.add_argument("--wait-timeout", type=float, default=None,
+                   help="give up waiting after this many seconds")
+    p.add_argument("--results-out", default=None, metavar="PATH",
+                   help="with --wait: write the raw task values as "
+                        "canonical JSON (byte-comparable with "
+                        "`repro sweep --results-out`)")
+    p.add_argument("--telemetry-out", default=None, metavar="PATH",
+                   help="with --wait: write the job telemetry as JSON")
+
+    p = sub.add_parser("status", help="one job's state and progress")
+    p.add_argument("job_id")
+    add_endpoint(p)
+
+    p = sub.add_parser(
+        "result", help="fetch a terminal job's values and telemetry"
+    )
+    p.add_argument("job_id")
+    add_endpoint(p)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the raw task values as canonical JSON")
+    p.add_argument("--telemetry-out", default=None, metavar="PATH",
+                   help="write the job telemetry as JSON")
+
+    p = sub.add_parser(
+        "queues", help="per-queue depths and the worker table"
+    )
+    add_endpoint(p)
 
     return parser
 
@@ -571,7 +678,31 @@ def _cmd_bench(args):
 def _cmd_snapshot(args):
     if args.mode == "roundtrip":
         return _cmd_snapshot_roundtrip(args)
+    if args.mode == "gc":
+        return _cmd_snapshot_gc(args)
     return _cmd_snapshot_sweep(args)
+
+
+def _cmd_snapshot_gc(args):
+    """Prune old snapshots from the store, keeping pinned + the newest N."""
+    from repro.snapshot.disk import SnapshotStore
+
+    if args.snapshot_dir is None:
+        print("error: gc needs --snapshot-dir", file=sys.stderr)
+        return 2
+    if args.keep_latest is None:
+        print("error: gc needs --keep-latest N", file=sys.stderr)
+        return 2
+    store = SnapshotStore(args.snapshot_dir)
+    before = len(store)
+    report = store.prune(keep_latest=args.keep_latest, dry_run=args.dry_run)
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"{before} snapshot(s) in {args.snapshot_dir}: "
+          f"{verb} {len(report['deleted'])}, kept {len(report['kept'])} "
+          f"({len(report['pinned'])} pinned)")
+    for key in report["deleted"]:
+        print(f"  {verb} {key}")
+    return 0
 
 
 def _cmd_snapshot_roundtrip(args):
@@ -700,9 +831,18 @@ def _cmd_sweep(args):
     if printer is not None:
         printer.close()
     for app, table in tables.items():
-        objects = list(next(iter(table.values())))
+        # A partially failed campaign leaves holes in the table (failed
+        # cells are omitted by tables_from_result); take the object set
+        # as the union across rows and render missing cells as "-" so a
+        # partial sweep still reports everything it *did* measure.
+        objects = list(dict.fromkeys(
+            obj for row in table.values() for obj in row
+        ))
         rows = [
-            [config] + [f"{table[config][obj]:.1f}" for obj in objects]
+            [config] + [
+                f"{table[config][obj]:.1f}" if obj in table[config] else "-"
+                for obj in objects
+            ]
             for config in table
         ]
         title = f"{app} energy (J)"
@@ -725,6 +865,12 @@ def _cmd_sweep(args):
             write_csv(path, energy_table_csv(means, objects))
             print(f"wrote {path}")
     print(result.telemetry.render())
+    if args.results_out:
+        from repro.service.jobs import results_document
+
+        with open(args.results_out, "w", encoding="utf-8") as handle:
+            handle.write(results_document(result.spec.name, result.values))
+        print(f"wrote {args.results_out}")
     if args.telemetry_out:
         import json
 
@@ -737,6 +883,196 @@ def _cmd_sweep(args):
         print(f"FAILED {failure.task_id} "
               f"(attempts {failure.attempts}): {failure.error}")
     return 0 if result.ok else 1
+
+
+def _cmd_serve(args):
+    """Run the persistent campaign service until shutdown."""
+    from repro.service import CampaignService, serve
+
+    service = CampaignService(
+        workers=args.workers,
+        cache=args.cache_dir,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        heartbeat_s=args.heartbeat,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+    )
+    with service:
+        server = serve(service, host=args.host, port=args.port,
+                       verbose=args.verbose)
+        print(f"campaign service listening on {server.endpoint} "
+              f"({args.workers} workers"
+              + (f", cache {args.cache_dir}" if args.cache_dir else "")
+              + ")", flush=True)
+        try:
+            server.serve_until_shutdown()
+        except KeyboardInterrupt:
+            print("\ninterrupt — shutting down", flush=True)
+        finally:
+            server.server_close()
+    snapshot = service.snapshot()
+    print(f"served {snapshot['jobs']} job(s); "
+          f"{snapshot['reclaimed_workers']} worker(s) reclaimed")
+    return 0
+
+
+def _load_spec(args):
+    """The campaign a ``submit`` names: built-in sweep or a spec file."""
+    from repro.fleet.spec import CampaignSpec
+
+    if args.spec is not None:
+        import json
+
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return CampaignSpec.from_dict(json.load(handle))
+    # --sweep (the default): the same campaign `repro sweep` runs, so
+    # service results are byte-comparable with the one-shot path.
+    from repro.fleet.campaigns import sweep_campaign
+
+    return sweep_campaign(apps=args.apps, think_time_s=args.think,
+                          trials=args.trials)
+
+
+def _write_result_artifacts(payload, results_out=None, telemetry_out=None):
+    from repro.service.jobs import results_document
+
+    if results_out:
+        with open(results_out, "w", encoding="utf-8") as handle:
+            handle.write(results_document(payload["campaign"],
+                                          payload["values"]))
+        print(f"wrote {results_out}")
+    if telemetry_out:
+        import json
+
+        with open(telemetry_out, "w", encoding="utf-8") as handle:
+            json.dump(payload["telemetry"], handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {telemetry_out}")
+
+
+def _print_job_outcome(payload):
+    """Common terminal-job rendering for submit --wait / result."""
+    telemetry = payload["telemetry"]
+    print(f"job {payload['job_id']} ({payload['campaign']}): "
+          f"{payload['state']} — {telemetry['done']}/{telemetry['total']} "
+          f"tasks, {telemetry['cached']} cached, "
+          f"{telemetry['failed']} failed, wall {telemetry['wall_s']:.2f}s")
+    for failure in payload.get("failures", ()):
+        print(f"FAILED {failure['task_id']} "
+              f"(attempts {failure['attempts']}): {failure['error']}")
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.endpoint)
+
+
+def _cmd_submit(args):
+    from repro.service import ServiceError, ServiceUnavailable
+
+    try:
+        spec = _load_spec(args)
+        client = _service_client(args)
+        job_id = client.submit(
+            spec, queue=args.queue, priority=args.priority,
+            client=args.client, retries=args.retries,
+            timeout_s=args.timeout,
+        )
+        print(f"submitted {job_id} ({spec.name}, {len(spec)} tasks) "
+              f"to queue {args.queue!r} at {client.endpoint}")
+        if not args.wait:
+            return 0
+        client.wait(job_id, timeout=args.wait_timeout)
+        payload = client.result(job_id)
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_job_outcome(payload)
+    _write_result_artifacts(payload, results_out=args.results_out,
+                            telemetry_out=args.telemetry_out)
+    # Like `repro sweep`: any permanently failed task is a nonzero exit.
+    return 0 if payload["state"] == "done" else 1
+
+
+def _cmd_status(args):
+    from repro.service import ServiceError
+
+    try:
+        status = _service_client(args).status(args.job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    telemetry = status["telemetry"]
+    print(f"job {status['job_id']} ({status['campaign']}): "
+          f"{status['state']}  queue={status['queue']} "
+          f"priority={status['priority']}"
+          + (f" client={status['client']}" if status["client"] else ""))
+    print(f"  tasks: {telemetry['done']}/{telemetry['total']} done, "
+          f"{telemetry['running']} running, {telemetry['queued']} queued, "
+          f"{telemetry['cached']} cached, {telemetry['failed']} failed, "
+          f"{telemetry['retried']} retried")
+    running = status["tasks"]["running"]
+    if running:
+        print(f"  running: {', '.join(running)}")
+    for failure in status.get("failures", ()):
+        print(f"  FAILED {failure['task_id']}: {failure['error']}")
+    return 0
+
+
+def _cmd_result(args):
+    from repro.service import ServiceError
+
+    try:
+        payload = _service_client(args).result(args.job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_job_outcome(payload)
+    _write_result_artifacts(payload, results_out=args.out,
+                            telemetry_out=args.telemetry_out)
+    return 0 if payload["state"] == "done" else 1
+
+
+def _cmd_queues(args):
+    from repro.service import ServiceError
+
+    try:
+        client = _service_client(args)
+        queues = client.queues()
+        workers = client.workers()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if queues:
+        rows = [
+            [name, str(entry["jobs"]), str(entry["active_jobs"]),
+             str(entry["pending_tasks"])]
+            for name, entry in sorted(queues.items())
+        ]
+        print(render_table(["queue", "jobs", "active", "pending tasks"],
+                           rows, title="queues"))
+    else:
+        print("no jobs submitted yet")
+    rows = [
+        [w["id"], str(w["pid"]), "yes" if w["alive"] else "NO",
+         f"{w['heartbeat_age_s']:.2f}s",
+         w["current"]["task"] if w["current"] else "-",
+         str(w["completed"])]
+        for w in workers
+    ]
+    print()
+    print(render_table(
+        ["worker", "pid", "alive", "beat age", "running", "completed"],
+        rows, title="workers",
+    ))
+    return 0
 
 
 def main(argv=None):
@@ -828,6 +1164,16 @@ def _dispatch(args):
         return _cmd_sweep(args)
     if args.command == "snapshot":
         return _cmd_snapshot(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "result":
+        return _cmd_result(args)
+    if args.command == "queues":
+        return _cmd_queues(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

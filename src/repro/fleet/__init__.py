@@ -19,6 +19,7 @@ from repro.fleet.campaigns import (
     tables_from_result,
 )
 from repro.fleet.errors import CampaignError, FleetError, TaskTimeout
+from repro.fleet.execution import CampaignExecution
 from repro.fleet.runner import CampaignResult, FleetRunner, TaskResult
 from repro.fleet.spec import (
     CampaignSpec,
@@ -37,6 +38,7 @@ __all__ = [
     "task_key",
     "resolve_callable",
     "FleetRunner",
+    "CampaignExecution",
     "TaskResult",
     "CampaignResult",
     "ResultCache",

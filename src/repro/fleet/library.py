@@ -40,6 +40,7 @@ __all__ = [
     "spin_for",
     "always_fail",
     "fail_until_marker",
+    "die_once_then",
 ]
 
 
@@ -124,3 +125,22 @@ def fail_until_marker(marker, value=1.0):
             fh.write("failed once\n")
         raise RuntimeError("transient fault (first attempt)")
     return value
+
+
+def die_once_then(marker, fn, **params):
+    """Kill the whole worker process on the first attempt, then compute.
+
+    Unlike :func:`fail_until_marker` (which raises and lets the worker
+    report the error), this calls ``os._exit`` — the worker vanishes
+    mid-task without a completion message, exactly the failure the
+    service's heartbeat/reclaim machinery exists for.  Once the marker
+    exists, later attempts run the named library function normally, so
+    a reclaimed-and-retried task still produces its real value.
+    """
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write("died once\n")
+        os._exit(17)
+    from repro.fleet.spec import resolve_callable
+
+    return resolve_callable(fn)(**params)

@@ -18,16 +18,19 @@ Execution contract:
 * **Serial path.** ``jobs=1`` runs everything in-process with the same
   retry/cache/telemetry semantics and zero pool overhead — it is both
   the speedup baseline and the degenerate case.
+
+The retry/cache/telemetry semantics themselves live in
+:class:`~repro.fleet.execution.CampaignExecution`; this module only
+decides *where* attempts run (in-process or on a one-shot pool).  The
+persistent :mod:`repro.service` drives the same execution engine from a
+warm worker pool, so one-shot and service campaigns are bit-identical.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
 
 try:  # BrokenProcessPool moved in 3.3→3.7 eras; import defensively.
     from concurrent.futures.process import BrokenProcessPool
@@ -35,83 +38,22 @@ except ImportError:  # pragma: no cover
     BrokenProcessPool = OSError
 
 from repro.fleet.cache import ResultCache
-from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.execution import (
+    CACHED,
+    FAILED,
+    OK,
+    CampaignExecution,
+    CampaignResult,
+    TaskResult,
+    describe_error,
+)
 from repro.fleet.worker import run_task
 from repro.obs.metrics import current_metrics
 from repro.obs.tracer import current_tracer
 
 __all__ = ["FleetRunner", "TaskResult", "CampaignResult"]
 
-#: Terminal task states.
-OK, CACHED, FAILED = "ok", "cached", "failed"
-
-
-@dataclass(frozen=True)
-class TaskResult:
-    """Outcome of one task: a value, a cache hit, or a recorded failure."""
-
-    task_id: str
-    status: str
-    value: object = None
-    error: str = None
-    attempts: int = 0
-    wall_s: float = 0.0
-
-    @property
-    def ok(self):
-        return self.status in (OK, CACHED)
-
-
-@dataclass(frozen=True)
-class CampaignResult:
-    """Every task's outcome, in campaign order, plus run telemetry."""
-
-    spec: object
-    results: tuple
-    telemetry: FleetTelemetry
-
-    @property
-    def values(self):
-        """``{task_id: value}`` for every task that produced a value."""
-        return {r.task_id: r.value for r in self.results if r.ok}
-
-    @property
-    def failures(self):
-        return tuple(r for r in self.results if r.status == FAILED)
-
-    @property
-    def ok(self):
-        return not self.failures
-
-    def value(self, task_id):
-        """The value of one task; raises if it failed or is unknown."""
-        for result in self.results:
-            if result.task_id == task_id:
-                if not result.ok:
-                    raise KeyError(
-                        f"task {task_id!r} failed: {result.error}"
-                    )
-                return result.value
-        raise KeyError(f"no task {task_id!r} in campaign {self.spec.name!r}")
-
-    def raise_on_failure(self):
-        """Raise :class:`~repro.fleet.errors.CampaignError` if any task failed."""
-        if self.failures:
-            from repro.fleet.errors import CampaignError
-
-            summary = "; ".join(
-                f"{r.task_id}: {r.error}" for r in self.failures
-            )
-            raise CampaignError(
-                f"{len(self.failures)} of {len(self.results)} tasks failed "
-                f"in campaign {self.spec.name!r}: {summary}",
-                failures=self.failures,
-            )
-        return self
-
-
-def _describe(exc):
-    return f"{type(exc).__name__}: {exc}"
+_describe = describe_error
 
 
 class FleetRunner:
@@ -168,193 +110,90 @@ class FleetRunner:
         # them, so the flag only takes effect with an open fleet gate.
         self.worker_trace = bool(worker_trace) and self._trace is not None
         self.metrics = metrics if metrics is not None else current_metrics()
-        self._m_events = {
-            OK: self.metrics.counter("fleet.tasks_ok"),
-            CACHED: self.metrics.counter("fleet.tasks_cached"),
-            FAILED: self.metrics.counter("fleet.tasks_failed"),
-            "retry": self.metrics.counter("fleet.retries"),
-        }
-        self._m_task_wall = self.metrics.histogram("fleet.task_wall_s")
+
+    def _execution(self, spec):
+        return CampaignExecution(
+            spec, cache=self.cache, retries=self.retries,
+            backoff_s=self.backoff_s, timeout_s=self.timeout_s,
+            progress=self.progress, tracer=self.tracer,
+            metrics=self.metrics, worker_trace=self.worker_trace,
+        )
 
     # ------------------------------------------------------------------
     def run(self, spec):
         """Execute every task; returns a :class:`CampaignResult`."""
-        telemetry = FleetTelemetry(total=len(spec.tasks))
-        started = time.monotonic()
-        trace = self._trace
-        campaign_t0 = self.tracer.wall() if trace is not None else 0.0
-        results = {}
-        pending = []
-        for task in spec.tasks:
-            record = self.cache.get(task.key()) if self.cache else None
-            if record is not None:
-                results[task.id] = TaskResult(
-                    task.id, CACHED, value=record["value"],
-                    wall_s=record.get("wall_s", 0.0),
-                )
-                telemetry.cached += 1
-                self._emit(CACHED, task.id, telemetry)
-            else:
-                pending.append(task)
-
+        execution = self._execution(spec)
+        pending = execution.admit()
         if pending:
             if self.jobs == 1:
-                self._run_serial(pending, results, telemetry)
+                self._run_serial(execution, pending)
             else:
-                self._run_pool(pending, results, telemetry)
-
-        telemetry.wall_s = time.monotonic() - started
-        if trace is not None:
-            trace.complete(
-                campaign_t0, "fleet", "campaign", dur=telemetry.wall_s,
-                track="campaign",
-                args={"name": spec.name, **telemetry.snapshot()},
-            )
-        ordered = tuple(results[task.id] for task in spec.tasks)
-        return CampaignResult(spec=spec, results=ordered, telemetry=telemetry)
+                self._run_pool(execution, pending)
+        return execution.finish()
 
     # ------------------------------------------------------------------
-    def _emit(self, event, task_id, telemetry, detail=None):
-        counter = self._m_events.get(event)
-        if counter is not None:
-            counter.inc()
-        if self._trace is not None and event != OK:
-            # OK tasks get a complete-span from _record_success instead.
-            args = {"task": task_id, "done": telemetry.done}
-            if detail:
-                args["detail"] = detail
-            self._trace.instant(
-                self.tracer.wall(), "fleet", f"task.{event}",
-                track="tasks", args=args,
-            )
-        if self.progress is not None:
-            self.progress(event, task_id, telemetry, detail)
-
-    def _merge_worker_trace(self, task, outcome):
-        """Replay one worker's ring buffer onto a per-task fleet track."""
-        records = outcome.get("trace")
-        if self._trace is None or not records:
-            return
-        worker = outcome.get("worker_pid")
-        track = f"w{worker}/{task.id}" if worker is not None else f"w/{task.id}"
-        for record in records:
-            self._trace.replay(
-                record, cat="fleet",
-                name=f"{record.get('cat', '?')}/{record.get('name', '?')}",
-                track=track,
-            )
-        dropped = outcome.get("trace_dropped", 0)
-        if dropped:
-            self._trace.instant(
-                self.tracer.wall(), "fleet", "task.trace_dropped",
-                track=track, args={"task": task.id, "dropped": dropped},
-            )
-
-    def _record_success(self, task, outcome, attempt, results, telemetry):
-        results[task.id] = TaskResult(
-            task.id, OK, value=outcome["value"],
-            attempts=attempt, wall_s=outcome["wall_s"],
-        )
-        telemetry.succeeded += 1
-        telemetry.busy_s += outcome["wall_s"]
-        value = outcome["value"]
-        if isinstance(value, dict) and value.get("snapshot_restored"):
-            telemetry.restored += 1
-        self._merge_worker_trace(task, outcome)
-        self._m_task_wall.observe(outcome["wall_s"])
-        if self._trace is not None:
-            end = self.tracer.wall()
-            self._trace.complete(
-                max(0.0, end - outcome["wall_s"]), "fleet", "task",
-                dur=outcome["wall_s"], track="tasks",
-                args={"task": task.id, "attempts": attempt},
-            )
-        if self.cache is not None and task.cacheable:
-            self.cache.put(task.key(), {
-                "fn": task.fn,
-                "params": task.params,
-                "value": outcome["value"],
-                "wall_s": outcome["wall_s"],
-            })
-        self._emit(OK, task.id, telemetry, f"{outcome['wall_s']:.3f}s")
-
-    def _record_failure(self, task, error, attempt, results, telemetry):
-        results[task.id] = TaskResult(
-            task.id, FAILED, error=error, attempts=attempt,
-        )
-        telemetry.failed += 1
-        self._emit(FAILED, task.id, telemetry, error)
-
-    # ------------------------------------------------------------------
-    def _run_serial(self, tasks, results, telemetry):
+    def _run_serial(self, execution, tasks):
         for task in tasks:
-            for attempt in range(1, self.retries + 2):
-                telemetry.attempts += 1
+            attempt = 1
+            while True:
+                execution.note_attempt()
                 try:
-                    outcome = run_task(task, self.timeout_s,
-                                       collect_trace=self.worker_trace)
+                    outcome = run_task(task, execution.timeout_s,
+                                       collect_trace=execution.worker_trace)
                 except Exception as exc:
-                    if attempt <= self.retries:
-                        telemetry.retried += 1
-                        self._emit("retry", task.id, telemetry, _describe(exc))
-                        time.sleep(self.backoff_s * 2 ** (attempt - 1))
-                        continue
-                    self._record_failure(
-                        task, _describe(exc), attempt, results, telemetry
+                    due = execution.record_error(
+                        task, _describe(exc), attempt
                     )
+                    if due is None:
+                        break
+                    while True:
+                        time.sleep(max(0.0, due - time.monotonic()))
+                        popped = execution.pop_due()
+                        if popped:
+                            ((task, attempt),) = popped
+                            break
                 else:
-                    self._record_success(
-                        task, outcome, attempt, results, telemetry
-                    )
-                break
+                    execution.record_success(task, outcome, attempt)
+                    break
 
     # ------------------------------------------------------------------
-    def _run_pool(self, tasks, results, telemetry):
+    def _run_pool(self, execution, tasks):
         executor = ProcessPoolExecutor(max_workers=self.jobs)
         inflight = {}
-        retry_heap = []  # (due_time, tiebreak, task, attempt)
-        tiebreak = itertools.count()
+        telemetry = execution.telemetry
 
         def submit(task, attempt):
             nonlocal executor
-            telemetry.attempts += 1
+            execution.note_attempt()
             try:
-                future = executor.submit(run_task, task, self.timeout_s,
-                                         self.worker_trace)
+                future = executor.submit(run_task, task,
+                                         execution.timeout_s,
+                                         execution.worker_trace)
             except BrokenProcessPool:
                 # The pool died between completions; replace it wholesale.
                 executor.shutdown(wait=False, cancel_futures=True)
                 executor = ProcessPoolExecutor(max_workers=self.jobs)
-                future = executor.submit(run_task, task, self.timeout_s,
-                                         self.worker_trace)
+                future = executor.submit(run_task, task,
+                                         execution.timeout_s,
+                                         execution.worker_trace)
             inflight[future] = (task, attempt)
             telemetry.running += 1
-
-        def fail_or_retry(task, attempt, error):
-            if attempt <= self.retries:
-                telemetry.retried += 1
-                self._emit("retry", task.id, telemetry, error)
-                due = time.monotonic() + self.backoff_s * 2 ** (attempt - 1)
-                heapq.heappush(
-                    retry_heap, (due, next(tiebreak), task, attempt + 1)
-                )
-            else:
-                self._record_failure(task, error, attempt, results, telemetry)
 
         try:
             for task in tasks:
                 submit(task, 1)
 
-            while inflight or retry_heap:
+            while inflight or execution.awaiting_retry:
                 now = time.monotonic()
-                while retry_heap and retry_heap[0][0] <= now:
-                    _, _, task, attempt = heapq.heappop(retry_heap)
+                for task, attempt in execution.pop_due(now):
                     submit(task, attempt)
                 if not inflight:
-                    time.sleep(max(0.0, retry_heap[0][0] - now))
+                    time.sleep(max(0.0, execution.next_due() - now))
                     continue
+                next_due = execution.next_due()
                 wait_timeout = (
-                    max(0.0, retry_heap[0][0] - now) if retry_heap else None
+                    max(0.0, next_due - now) if next_due is not None
+                    else None
                 )
                 done, _ = wait(
                     inflight, timeout=wait_timeout,
@@ -368,15 +207,14 @@ class FleetRunner:
                     except BrokenProcessPool as exc:
                         # Worker crash kills every in-flight future; each
                         # surfaces here and burns one attempt for its task.
-                        fail_or_retry(
-                            task, attempt,
+                        execution.record_error(
+                            task,
                             f"worker process crashed ({_describe(exc)})",
+                            attempt,
                         )
                     except Exception as exc:
-                        fail_or_retry(task, attempt, _describe(exc))
+                        execution.record_error(task, _describe(exc), attempt)
                     else:
-                        self._record_success(
-                            task, outcome, attempt, results, telemetry
-                        )
+                        execution.record_success(task, outcome, attempt)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)

@@ -122,6 +122,27 @@ class Task:
         """Execute in the current process (the serial path and workers)."""
         return self.resolve()(*self.payload, **self.params)
 
+    def to_dict(self):
+        """Wire format for the campaign service; pure-data tasks only."""
+        if self.payload:
+            raise ValueError(
+                f"task {self.id!r} carries a payload and cannot be "
+                f"serialized for submission"
+            )
+        record = {"id": self.id, "fn": self.fn, "params": self.params}
+        if self.timeout_s is not None:
+            record["timeout_s"] = self.timeout_s
+        return record
+
+    @classmethod
+    def from_dict(cls, record):
+        return cls(
+            id=record["id"],
+            fn=record["fn"],
+            params=record.get("params", {}),
+            timeout_s=record.get("timeout_s"),
+        )
+
 
 @dataclass(frozen=True)
 class CampaignSpec:
@@ -143,6 +164,28 @@ class CampaignSpec:
 
     def __len__(self):
         return len(self.tasks)
+
+    def to_dict(self):
+        """Wire format for the campaign service (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "tasks": [task.to_dict() for task in self.tasks],
+        }
+
+    @classmethod
+    def from_dict(cls, record):
+        """Rebuild a spec a client serialized with :meth:`to_dict`.
+
+        The round-trip is exact for pure-data campaigns, so a spec
+        submitted over the service wire hashes (and therefore caches
+        and seeds) identically to the in-process original.
+        """
+        return cls(
+            name=record["name"],
+            tasks=tuple(Task.from_dict(t) for t in record.get("tasks", ())),
+            seed=record.get("seed", 0),
+        )
 
     def auto_seeded(self, param="seed"):
         """Give every task lacking ``param`` a seed derived from its id.

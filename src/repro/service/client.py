@@ -1,0 +1,133 @@
+"""Client library for the campaign service — stdlib ``urllib`` only.
+
+A :class:`ServiceClient` wraps the HTTP transport so callers (the CLI,
+tests, other Python programs) speak objects, not routes::
+
+    client = ServiceClient("http://127.0.0.1:7341")
+    job_id = client.submit(spec, queue="nightly", priority=5)
+    status = client.wait(job_id, timeout=600)
+    values = client.result(job_id)["values"]
+
+Every method raises :class:`ServiceUnavailable` when the service is not
+reachable and :class:`ServiceError` for JSON error replies, so scripts
+can distinguish "not running" from "bad request".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "DEFAULT_ENDPOINT",
+]
+
+#: Where ``repro serve`` listens unless told otherwise.
+DEFAULT_ENDPOINT = "http://127.0.0.1:7341"
+
+
+class ServiceError(RuntimeError):
+    """The service replied with an error payload."""
+
+    def __init__(self, message, status=None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceUnavailable(ServiceError):
+    """No service answered at the endpoint."""
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` endpoint."""
+
+    def __init__(self, endpoint=DEFAULT_ENDPOINT, timeout=10.0):
+        self.endpoint = endpoint.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, path, body=None):
+        url = f"{self.endpoint}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:  # noqa: BLE001 — no JSON body
+                detail = str(exc)
+            raise ServiceError(detail, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailable(
+                f"no campaign service at {self.endpoint} ({exc.reason}); "
+                f"start one with `python -m repro serve`"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def health(self):
+        return self._request("/health")
+
+    def queues(self):
+        return self._request("/queues")
+
+    def workers(self):
+        return self._request("/workers")
+
+    def jobs(self):
+        return self._request("/jobs")
+
+    def metrics(self):
+        return self._request("/metrics")
+
+    def submit(self, spec, queue="default", priority=0, client=None,
+               retries=None, timeout_s=None):
+        """Submit a :class:`~repro.fleet.spec.CampaignSpec`; returns job id."""
+        body = {
+            "spec": spec if isinstance(spec, dict) else spec.to_dict(),
+            "queue": queue,
+            "priority": priority,
+        }
+        if client is not None:
+            body["client"] = client
+        if retries is not None:
+            body["retries"] = retries
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._request("/submit", body=body)["job_id"]
+
+    def status(self, job_id):
+        return self._request(f"/jobs/{job_id}")
+
+    def result(self, job_id):
+        return self._request(f"/jobs/{job_id}/result")
+
+    def shutdown(self):
+        return self._request("/shutdown", body={})
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id, timeout=None, poll_s=0.2):
+        """Poll until ``job_id`` is terminal; returns its final status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,148 @@
+"""Job records: what the campaign service knows about one submission.
+
+A *job* is one client-submitted :class:`~repro.fleet.spec.CampaignSpec`
+plus its service-side lifecycle.  Jobs move strictly forward::
+
+    submitted → queued → running → done | failed
+
+``submitted`` is the instant the service accepted the spec (the record
+exists, nothing is scheduled yet); ``queued`` means the job sits in a
+named queue waiting for workers; ``running`` means at least one task
+attempt has been dispatched; ``done``/``failed`` are terminal — a job is
+``failed`` when any task permanently failed after retries, ``done`` only
+when every task produced a value (fresh or cache-served).
+
+Per-task progress rides on the job's
+:class:`~repro.fleet.execution.CampaignExecution` — its telemetry
+counters and per-task terminal states are snapshotted into the status
+payload clients poll.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.spec import canonical_json
+
+__all__ = [
+    "JobRecord",
+    "results_document",
+    "SUBMITTED",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+]
+
+SUBMITTED, QUEUED, RUNNING = "submitted", "queued", "running"
+DONE, FAILED = "done", "failed"
+JOB_STATES = (SUBMITTED, QUEUED, RUNNING, DONE, FAILED)
+
+
+class JobRecord:
+    """One submitted campaign and its service-side lifecycle."""
+
+    def __init__(self, job_id, spec, execution, queue="default",
+                 priority=0, client=None, seq=0):
+        self.job_id = job_id
+        self.spec = spec
+        self.execution = execution
+        self.queue = queue
+        self.priority = int(priority)
+        self.client = client
+        #: Admission order; ties within a priority break FIFO on it.
+        self.seq = seq
+        self.state = SUBMITTED
+        self.result = None
+        #: Tasks not yet dispatched for the first time, in spec order.
+        self.pending = list(spec.tasks)
+        #: Backoff-expired retries waiting for an idle worker.
+        self.retry_ready = []
+        #: Task ids currently dispatched to a worker.
+        self.running_tasks = set()
+        #: Task ids parked on another job's identical in-flight task
+        #: (cross-job coalescing; see CampaignService).
+        self.parked_tasks = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def terminal(self):
+        return self.state in (DONE, FAILED)
+
+    def sort_key(self):
+        """Scheduling order within a queue: priority desc, then FIFO."""
+        return (-self.priority, self.seq)
+
+    def finish(self):
+        """Seal the job: assemble the result, pick the terminal state."""
+        self.result = self.execution.finish()
+        self.state = DONE if self.result.ok else FAILED
+        return self.result
+
+    # ------------------------------------------------------------------
+    # wire payloads
+    # ------------------------------------------------------------------
+    def status_payload(self):
+        """What ``repro status`` / ``GET /jobs/<id>`` returns."""
+        telemetry = self.execution.telemetry
+        payload = {
+            "job_id": self.job_id,
+            "campaign": self.spec.name,
+            "queue": self.queue,
+            "priority": self.priority,
+            "client": self.client,
+            "state": self.state,
+            "telemetry": telemetry.snapshot(),
+            "tasks": {
+                "total": telemetry.total,
+                "done": telemetry.done,
+                "running": sorted(self.running_tasks),
+                "parked": sorted(self.parked_tasks),
+            },
+        }
+        if self.terminal:
+            payload["failures"] = [
+                {"task_id": f.task_id, "error": f.error,
+                 "attempts": f.attempts}
+                for f in self.result.failures
+            ]
+        return payload
+
+    def result_payload(self):
+        """What ``repro result`` returns once the job is terminal.
+
+        ``values`` carries every successful task's value keyed by task
+        id — the byte-comparable payload: its canonical JSON is
+        identical to a one-shot ``repro sweep`` of the same spec.
+        """
+        if not self.terminal:
+            raise KeyError(
+                f"job {self.job_id!r} is {self.state}, not terminal"
+            )
+        result = self.result
+        return {
+            "job_id": self.job_id,
+            "campaign": self.spec.name,
+            "state": self.state,
+            "values": result.values,
+            "failures": [
+                {"task_id": f.task_id, "error": f.error,
+                 "attempts": f.attempts}
+                for f in result.failures
+            ],
+            "telemetry": result.telemetry.snapshot(),
+        }
+
+    def __repr__(self):
+        return (f"<JobRecord {self.job_id} {self.spec.name!r} "
+                f"{self.state} queue={self.queue}>")
+
+
+def results_document(name, values):
+    """Canonical, byte-comparable results JSON text.
+
+    Shared by ``repro sweep --results-out`` and ``repro result --out``
+    (and the service-smoke CI job's ``cmp``): the same campaign run
+    one-shot, via the service, or via the service with a worker death
+    mid-task must produce identical bytes.
+    """
+    return canonical_json({"campaign": name, "values": values}) + "\n"

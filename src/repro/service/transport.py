@@ -1,0 +1,159 @@
+"""Local HTTP transport for the campaign service — stdlib only.
+
+A thin JSON-over-HTTP skin on :class:`~repro.service.core.CampaignService`
+built on :mod:`http.server` (no new dependencies).  One thread per
+request (``ThreadingHTTPServer``); every handler delegates to the
+service, whose lock makes the underlying operations atomic.
+
+Routes::
+
+    GET  /health                  service snapshot (also the liveness probe)
+    GET  /queues                  per-queue depths
+    GET  /workers                 worker table (pid, heartbeat age, task)
+    GET  /jobs                    job summaries, newest first
+    GET  /jobs/<id>               one job's status + per-task progress
+    GET  /jobs/<id>/result        terminal job's values/failures/telemetry
+    GET  /metrics                 MetricsRegistry snapshot
+    POST /submit                  {"spec": {...}, "queue", "priority",
+                                   "client", "retries", "timeout_s"}
+    POST /shutdown                stop accepting work and exit serve loop
+
+Errors are JSON too: ``{"error": "..."}`` with a 4xx/5xx status.  The
+transport never touches task values beyond ``json.dumps``, so the bytes
+a client reads back are exactly what the execution engine recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.fleet.spec import CampaignSpec
+
+__all__ = ["ServiceServer", "serve"]
+
+#: Refuse request bodies past this size (a local, cooperative service —
+#: the bound just keeps a typo'd upload from ballooning memory).
+MAX_BODY = 32 * 1024 * 1024
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request to the service; see the module docstring."""
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The handler is instantiated per request; the service and shutdown
+    # event ride on the server object.
+    @property
+    def service(self):
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _reply(self, payload, status=200):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message, status):
+        self._reply({"error": message}, status=status)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b"{}"
+        return json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def do_GET(self):  # noqa: N802 — stdlib casing
+        try:
+            path = self.path.rstrip("/")
+            if path in ("", "/health"):
+                return self._reply(self.service.snapshot())
+            if path == "/queues":
+                return self._reply(self.service.queues())
+            if path == "/workers":
+                return self._reply(self.service.workers())
+            if path == "/jobs":
+                return self._reply(self.service.jobs())
+            if path == "/metrics":
+                return self._reply(self.service.metrics.snapshot())
+            if path.startswith("/jobs/"):
+                parts = path.split("/")
+                if len(parts) == 3:
+                    return self._reply(self.service.status(parts[2]))
+                if len(parts) == 4 and parts[3] == "result":
+                    return self._reply(self.service.result(parts[2]))
+            return self._error(f"no route {self.path!r}", 404)
+        except KeyError as exc:
+            return self._error(str(exc), 404)
+        except Exception as exc:  # noqa: BLE001 — surface, don't kill thread
+            return self._error(f"{type(exc).__name__}: {exc}", 500)
+
+    def do_POST(self):  # noqa: N802 — stdlib casing
+        try:
+            path = self.path.rstrip("/")
+            if path == "/submit":
+                body = self._read_body()
+                spec = CampaignSpec.from_dict(body["spec"])
+                job_id = self.service.submit(
+                    spec,
+                    queue=body.get("queue", "default"),
+                    priority=body.get("priority", 0),
+                    client=body.get("client"),
+                    retries=body.get("retries"),
+                    timeout_s=body.get("timeout_s"),
+                )
+                return self._reply({"job_id": job_id}, status=202)
+            if path == "/shutdown":
+                self._reply({"stopping": True})
+                self.server.shutdown_event.set()
+                return None
+            return self._error(f"no route {self.path!r}", 404)
+        except (KeyError, ValueError, TypeError) as exc:
+            return self._error(f"bad request: {exc}", 400)
+        except Exception as exc:  # noqa: BLE001
+            return self._error(f"{type(exc).__name__}: {exc}", 500)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`CampaignService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service, host="127.0.0.1", port=0, verbose=False):
+        super().__init__((host, port), ServiceRequestHandler)
+        self.service = service
+        self.verbose = verbose
+        self.shutdown_event = threading.Event()
+
+    @property
+    def endpoint(self):
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_until_shutdown(self, poll_s=0.2):
+        """Serve until ``POST /shutdown`` (or KeyboardInterrupt)."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="repro-service-http", daemon=True)
+        thread.start()
+        try:
+            while not self.shutdown_event.wait(poll_s):
+                pass
+        finally:
+            self.shutdown()
+            thread.join(2.0)
+
+
+def serve(service, host="127.0.0.1", port=0, verbose=False):
+    """Bind a :class:`ServiceServer`; ``port=0`` picks a free port."""
+    return ServiceServer(service, host=host, port=port, verbose=verbose)

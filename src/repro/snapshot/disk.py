@@ -122,6 +122,66 @@ class SnapshotStore:
             os.unlink(self.path(key))
         except OSError:
             pass
+        try:
+            os.unlink(self.pin_path(key))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # pinning + pruning
+    # ------------------------------------------------------------------
+    def pin_path(self, key):
+        return os.path.join(self.directory, f"{key}.pin")
+
+    def pin(self, key):
+        """Protect ``key`` from :meth:`prune` (a baseline worth keeping)."""
+        if key not in self:
+            raise SnapshotError(f"cannot pin {key}: no such snapshot")
+        with open(self.pin_path(key), "w", encoding="utf-8"):
+            pass
+        return key
+
+    def unpin(self, key):
+        try:
+            os.unlink(self.pin_path(key))
+        except OSError:
+            pass
+
+    def pinned(self, key):
+        return os.path.exists(self.pin_path(key))
+
+    def prune(self, keep_latest, dry_run=False):
+        """Delete all but the ``keep_latest`` most recent snapshots.
+
+        Recency is file modification time (a re-``put`` refreshes it).
+        Pinned snapshots never count against the budget and never get
+        deleted.  Returns ``{"kept": [...], "deleted": [...],
+        "pinned": [...]}`` with keys in recency order, newest first.
+        """
+        if keep_latest < 0:
+            raise ValueError(f"keep_latest must be >= 0, got {keep_latest}")
+        entries = []
+        for key in self.keys():
+            try:
+                mtime = os.path.getmtime(self.path(key))
+            except OSError:
+                continue  # deleted underneath us
+            entries.append((mtime, key))
+        entries.sort(reverse=True)
+        kept, deleted, pinned = [], [], []
+        budget = keep_latest
+        for _, key in entries:
+            if self.pinned(key):
+                pinned.append(key)
+                kept.append(key)
+            elif budget > 0:
+                kept.append(key)
+                budget -= 1
+            else:
+                deleted.append(key)
+                if not dry_run:
+                    self.discard(key)
+        return {"kept": kept, "deleted": deleted, "pinned": pinned}
 
     def keys(self):
         suffix = ".snap.json"

@@ -1,0 +1,212 @@
+"""Unit tests for CampaignExecution, the placement-independent engine.
+
+The execution is driven here by hand — no pool, no service — so every
+transition (cache admission, retry backoff deadlines, permanent failure,
+completion) is observable deterministically via an injected fake clock.
+"""
+
+import pytest
+
+from repro.fleet import CampaignSpec, ResultCache, Task
+from repro.fleet.execution import (
+    CACHED,
+    FAILED,
+    OK,
+    CampaignExecution,
+    describe_error,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_spec(n=3, name="exec-test"):
+    return CampaignSpec(
+        name=name,
+        tasks=tuple(
+            Task(id=f"t{i}", fn="repro.fleet.library:seeded_value",
+                 params={"seed": i})
+            for i in range(n)
+        ),
+    )
+
+
+def make_execution(spec=None, **kwargs):
+    kwargs.setdefault("tracer", NULL_TRACER)
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return CampaignExecution(spec if spec is not None else make_spec(),
+                             **kwargs)
+
+
+def outcome(value, wall_s=0.1):
+    return {"value": value, "wall_s": wall_s}
+
+
+class TestAdmission:
+    def test_admit_without_cache_returns_all_tasks(self):
+        spec = make_spec()
+        execution = make_execution(spec)
+        assert execution.admit() == list(spec.tasks)
+
+    def test_admit_serves_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_spec()
+        cache.put(spec.tasks[0].key(), {"value": 42.0, "wall_s": 0.5})
+        execution = make_execution(spec, cache=cache)
+        pending = execution.admit()
+        assert [t.id for t in pending] == ["t1", "t2"]
+        assert execution.telemetry.cached == 1
+        assert execution.results["t0"].status == CACHED
+        assert execution.results["t0"].value == 42.0
+
+    def test_cache_hit_increments_cache_hit_counter(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_spec()
+        cache.put(spec.tasks[0].key(), {"value": 1.0, "wall_s": 0.0})
+        metrics = MetricsRegistry()
+        execution = make_execution(spec, cache=cache, metrics=metrics)
+        execution.admit()
+        assert metrics.counter("fleet.cache_hit").value == 1
+
+
+class TestOutcomes:
+    def test_success_path(self):
+        spec = make_spec(1)
+        execution = make_execution(spec)
+        execution.admit()
+        execution.note_attempt()
+        execution.record_success(spec.tasks[0], outcome(3.14), attempt=1)
+        assert execution.done
+        result = execution.finish()
+        assert result.ok
+        assert result.values == {"t0": 3.14}
+        assert result.telemetry.succeeded == 1
+        assert result.telemetry.attempts == 1
+
+    def test_success_writes_through_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = make_spec(1)
+        execution = make_execution(spec, cache=cache)
+        execution.record_success(spec.tasks[0], outcome(7.0), attempt=1)
+        record = cache.get(spec.tasks[0].key())
+        assert record["value"] == 7.0
+
+    def test_error_schedules_retry_with_backoff(self):
+        clock = FakeClock()
+        spec = make_spec(1)
+        execution = make_execution(spec, retries=2, backoff_s=0.5,
+                                   clock=clock)
+        due = execution.record_error(spec.tasks[0], "boom", attempt=1)
+        assert due == pytest.approx(clock.now + 0.5)
+        assert execution.awaiting_retry == 1
+        assert not execution.done
+        # Second failure doubles the backoff.
+        execution.pop_due(now=due)
+        due2 = execution.record_error(spec.tasks[0], "boom", attempt=2)
+        assert due2 == pytest.approx(clock.now + 1.0)
+
+    def test_retries_exhausted_is_permanent_failure(self):
+        spec = make_spec(1)
+        execution = make_execution(spec, retries=1)
+        assert execution.record_error(spec.tasks[0], "x", 1) is not None
+        assert execution.record_error(spec.tasks[0], "x", 2) is None
+        assert execution.done
+        result = execution.finish()
+        assert not result.ok
+        assert result.failures[0].task_id == "t0"
+        assert result.failures[0].attempts == 2
+
+    def test_pop_due_respects_deadlines(self):
+        clock = FakeClock()
+        spec = make_spec(2)
+        execution = make_execution(spec, retries=1, backoff_s=1.0,
+                                   clock=clock)
+        execution.record_error(spec.tasks[0], "x", 1)
+        assert execution.pop_due() == []  # backoff not expired
+        assert execution.next_due() == pytest.approx(clock.now + 1.0)
+        clock.advance(1.5)
+        popped = execution.pop_due()
+        assert [(t.id, a) for t, a in popped] == [("t0", 2)]
+        assert execution.next_due() is None
+
+
+class TestCompletion:
+    def test_results_are_in_spec_order(self):
+        spec = make_spec(3)
+        execution = make_execution(spec)
+        # Record out of order; finish() must restore spec order.
+        for i in (2, 0, 1):
+            execution.record_success(spec.tasks[i], outcome(float(i)), 1)
+        result = execution.finish()
+        assert [r.task_id for r in result.results] == ["t0", "t1", "t2"]
+
+    def test_finish_twice_raises(self):
+        spec = make_spec(1)
+        execution = make_execution(spec)
+        execution.record_success(spec.tasks[0], outcome(1.0), 1)
+        execution.finish()
+        with pytest.raises(RuntimeError):
+            execution.finish()
+
+    def test_wall_time_uses_injected_clock(self):
+        clock = FakeClock()
+        spec = make_spec(1)
+        execution = make_execution(spec, clock=clock)
+        clock.advance(2.5)
+        execution.record_success(spec.tasks[0], outcome(1.0), 1)
+        result = execution.finish()
+        assert result.telemetry.wall_s == pytest.approx(2.5)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            make_execution(retries=-1)
+
+
+class TestEmission:
+    def test_progress_callback_sees_every_event(self):
+        events = []
+        spec = make_spec(2)
+        execution = make_execution(
+            spec, retries=0,
+            progress=lambda event, task_id, telem, detail:
+                events.append((event, task_id)),
+        )
+        execution.record_success(spec.tasks[0], outcome(1.0), 1)
+        execution.record_error(spec.tasks[1], "boom", 1)
+        assert (OK, "t0") in events
+        assert (FAILED, "t1") in events
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        spec = make_spec(2)
+        execution = make_execution(spec, retries=1, metrics=metrics)
+        execution.record_success(spec.tasks[0], outcome(1.0), 1)
+        execution.record_error(spec.tasks[1], "x", 1)  # retry
+        execution.record_error(spec.tasks[1], "x", 2)  # permanent
+        assert metrics.counter("fleet.tasks_ok").value == 1
+        assert metrics.counter("fleet.retries").value == 1
+        assert metrics.counter("fleet.tasks_failed").value == 1
+
+    def test_queue_depth_gauge_tracks_remaining_tasks(self):
+        metrics = MetricsRegistry()
+        spec = make_spec(3)
+        execution = make_execution(spec, metrics=metrics)
+        execution.record_success(spec.tasks[0], outcome(1.0), 1)
+        assert metrics.gauge("fleet.queue_depth").value == 2
+        execution.record_success(spec.tasks[1], outcome(1.0), 1)
+        execution.record_success(spec.tasks[2], outcome(1.0), 1)
+        assert metrics.gauge("fleet.queue_depth").value == 0
+
+
+def test_describe_error():
+    assert describe_error(ValueError("bad")) == "ValueError: bad"

@@ -1,0 +1,134 @@
+"""Crash recovery: kill a worker mid-task, assert reclaim + determinism.
+
+The scenarios the warm pool's heartbeat/reclaim machinery exists for:
+
+* a worker process *dies* mid-task (``os._exit`` via ``die_once_then``)
+  — detected by process exit, the attempt requeued, a replacement
+  spawned, and the campaign's final results byte-identical to a run
+  where nothing died;
+* a worker process *wedges* mid-task (``SIGSTOP``) — detected by the
+  stale heartbeat, then the same reclaim path.
+"""
+
+import os
+import signal
+import time
+
+from repro.fleet import CampaignSpec, FleetRunner, Task
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.service import CampaignService, results_document
+
+
+def dying_spec(marker_dir, n=3, name="lazarus"):
+    """A campaign whose first task kills its worker on first attempt."""
+    tasks = [
+        Task(id="t0", fn="repro.fleet.library:die_once_then",
+             params={"marker": os.path.join(str(marker_dir), "died"),
+                     "fn": "repro.fleet.library:seeded_value", "seed": 0}),
+    ]
+    tasks += [
+        Task(id=f"t{i}", fn="repro.fleet.library:seeded_value",
+             params={"seed": i})
+        for i in range(1, n)
+    ]
+    return CampaignSpec(name=name, tasks=tasks)
+
+
+def reference_spec(marker_dir, n=3, name="lazarus"):
+    """The same campaign with the marker pre-created: nothing dies."""
+    marker = os.path.join(str(marker_dir), "died")
+    with open(marker, "w", encoding="utf-8") as fh:
+        fh.write("pre-created\n")
+    return dying_spec(marker_dir, n=n, name=name)
+
+
+class TestWorkerDeath:
+    def test_death_is_reclaimed_and_result_bit_identical(self, tmp_path):
+        """The acceptance criterion: worker death never changes bytes."""
+        ref_dir = tmp_path / "ref"
+        ref_dir.mkdir()
+        reference = FleetRunner(jobs=1, tracer=NULL_TRACER,
+                                metrics=MetricsRegistry()).run(
+            reference_spec(ref_dir))
+        assert reference.ok
+
+        die_dir = tmp_path / "die"
+        die_dir.mkdir()
+        metrics = MetricsRegistry()
+        svc = CampaignService(workers=2, cache=tmp_path / "cache",
+                              poll_s=0.02, backoff_s=0.01,
+                              heartbeat_s=0.05, heartbeat_timeout_s=2.0,
+                              tracer=NULL_TRACER, metrics=metrics)
+        with svc:
+            job_id = svc.submit(dying_spec(die_dir))
+            status = svc.wait(job_id, timeout=60)
+            result = svc.result(job_id)
+            snapshot = svc.snapshot()
+
+        assert status["state"] == "done"
+        # The death burned one attempt and was retried.
+        assert status["telemetry"]["retried"] >= 1
+        assert status["telemetry"]["attempts"] >= 4
+        # The pool noticed, reclaimed, and replaced the worker.
+        assert snapshot["reclaimed_workers"] >= 1
+        assert snapshot["workers"] == 2
+        assert metrics.counter("service.tasks_reclaimed").value >= 1
+        # Bit-identical to the run where nothing died.
+        assert (results_document(result["campaign"], result["values"])
+                == results_document(reference.spec.name, reference.values))
+
+    def test_recovered_result_lands_in_cache(self, tmp_path):
+        """A resubmission after recovery is served from cache."""
+        die_dir = tmp_path / "die"
+        die_dir.mkdir()
+        svc = CampaignService(workers=2, cache=tmp_path / "cache",
+                              poll_s=0.02, backoff_s=0.01,
+                              tracer=NULL_TRACER, metrics=MetricsRegistry())
+        with svc:
+            spec = dying_spec(die_dir)
+            j1 = svc.submit(spec)
+            svc.wait(j1, timeout=60)
+            first = svc.result(j1)
+            j2 = svc.submit(spec)
+            status = svc.wait(j2, timeout=60)
+            second = svc.result(j2)
+        assert first["values"] == second["values"]
+        assert status["telemetry"]["from_cache"] is True
+        assert status["telemetry"]["cached"] == 3
+
+
+class TestWedgedWorker:
+    def test_stale_heartbeat_triggers_reclaim(self, tmp_path):
+        """SIGSTOP a worker mid-task: stale heartbeat → reclaim → retry."""
+        spec = CampaignSpec(
+            name="wedged",
+            tasks=(
+                Task(id="slow", fn="repro.fleet.library:sleep_for",
+                     params={"seconds": 1.5, "value": 9.0}),
+            ),
+        )
+        metrics = MetricsRegistry()
+        svc = CampaignService(workers=2, poll_s=0.02, backoff_s=0.01,
+                              heartbeat_s=0.05, heartbeat_timeout_s=0.5,
+                              tracer=NULL_TRACER, metrics=metrics)
+        with svc:
+            job_id = svc.submit(spec, retries=1)
+            # Wait until some worker holds the task, then freeze it.
+            victim = None
+            deadline = time.monotonic() + 10
+            while victim is None and time.monotonic() < deadline:
+                for worker in svc.workers():
+                    if worker["current"] is not None:
+                        victim = worker
+                        break
+                time.sleep(0.02)
+            assert victim is not None, "task never dispatched"
+            os.kill(victim["pid"], signal.SIGSTOP)
+            status = svc.wait(job_id, timeout=45)
+            snapshot = svc.snapshot()
+        assert status["state"] == "done"
+        assert svc.result(job_id)["values"]["slow"] == 9.0
+        assert status["telemetry"]["retried"] >= 1
+        assert snapshot["reclaimed_workers"] >= 1
+        assert metrics.counter("service.tasks_reclaimed").value >= 1

@@ -1,0 +1,166 @@
+"""HTTP transport + client tests: roundtrip, errors, concurrency.
+
+A real ServiceServer on an ephemeral port, real worker processes, and
+the urllib client — the full stack short of the CLI.
+"""
+
+import threading
+
+import pytest
+
+from repro.fleet import CampaignSpec, FleetRunner, Task
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceError,
+    results_document,
+    serve,
+)
+
+
+def value_spec(n=4, name="wire"):
+    return CampaignSpec(
+        name=name,
+        tasks=tuple(
+            Task(id=f"t{i}", fn="repro.fleet.library:seeded_value",
+                 params={"seed": i, "scale": 3.0})
+            for i in range(n)
+        ),
+    )
+
+
+@pytest.fixture
+def stack(tmp_path):
+    """A running service + HTTP server + client on an ephemeral port."""
+    service = CampaignService(workers=2, cache=tmp_path / "cache",
+                              poll_s=0.02, tracer=NULL_TRACER,
+                              metrics=MetricsRegistry())
+    with service:
+        server = serve(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield service, ServiceClient(server.endpoint)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(2.0)
+
+
+class TestRoundtrip:
+    def test_submit_wait_result(self, stack):
+        _, client = stack
+        spec = value_spec()
+        job_id = client.submit(spec, queue="q1", client="test")
+        status = client.wait(job_id, timeout=30)
+        assert status["state"] == "done"
+        result = client.result(job_id)
+        assert set(result["values"]) == {f"t{i}" for i in range(4)}
+
+    def test_wire_results_bit_identical_to_oneshot(self, stack):
+        """The determinism invariant, across the HTTP wire."""
+        _, client = stack
+        spec = value_spec(5, name="wirebits")
+        direct = FleetRunner(jobs=2, tracer=NULL_TRACER,
+                             metrics=MetricsRegistry()).run(spec)
+        job_id = client.submit(spec)
+        client.wait(job_id, timeout=30)
+        result = client.result(job_id)
+        assert (results_document(result["campaign"], result["values"])
+                == results_document(spec.name, direct.values))
+
+    def test_spec_roundtrips_exactly(self):
+        spec = CampaignSpec(
+            name="rt", seed=7,
+            tasks=(
+                Task(id="a", fn="m:f", params={"x": 1}),
+                Task(id="b", fn="m:g", params={"y": [1, 2]},
+                     timeout_s=3.5),
+            ),
+        )
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert [t.key() for t in rebuilt.tasks] == [
+            t.key() for t in spec.tasks
+        ]
+
+    def test_payload_task_not_serializable(self):
+        task = Task(id="p", fn="m:f", payload=(object(),))
+        with pytest.raises(ValueError):
+            task.to_dict()
+
+    def test_health_queues_workers_jobs(self, stack):
+        _, client = stack
+        job_id = client.submit(value_spec(2))
+        client.wait(job_id, timeout=30)
+        health = client.health()
+        assert health["workers"] == 2
+        assert health["jobs"] == 1
+        assert client.queues()["default"]["jobs"] == 1
+        assert len(client.workers()) == 2
+        jobs = client.jobs()
+        assert jobs[0]["job_id"] == job_id
+        metrics = client.metrics()
+        assert metrics["counters"]["service.jobs_submitted"] == 1
+
+
+class TestErrors:
+    def test_unknown_job_is_404(self, stack):
+        _, client = stack
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("j9999")
+        assert excinfo.value.status == 404
+
+    def test_result_of_unknown_job_is_404(self, stack):
+        _, client = stack
+        with pytest.raises(ServiceError) as excinfo:
+            client.result("j9999")
+        assert excinfo.value.status == 404
+
+    def test_bad_spec_is_400(self, stack):
+        _, client = stack
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"tasks": []})  # missing "name"
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_is_404(self, stack):
+        _, client = stack
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("/nope")
+        assert excinfo.value.status == 404
+
+    def test_unreachable_endpoint(self):
+        from repro.service import ServiceUnavailable
+
+        client = ServiceClient("http://127.0.0.1:1", timeout=1.0)
+        with pytest.raises(ServiceUnavailable):
+            client.health()
+
+
+class TestConcurrentClients:
+    def test_two_clients_one_execution(self, stack):
+        """Concurrent identical submissions over the wire coalesce."""
+        _, client = stack
+        spec = value_spec(6, name="concurrent")
+        results = {}
+
+        def run(tag):
+            own = ServiceClient(client.endpoint)
+            job_id = own.submit(spec, client=tag)
+            own.wait(job_id, timeout=60)
+            results[tag] = own.result(job_id)
+
+        threads = [threading.Thread(target=run, args=(f"c{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(90)
+        assert results["c0"]["values"] == results["c1"]["values"]
+        executed = sum(r["telemetry"]["succeeded"]
+                       for r in results.values())
+        served = sum(r["telemetry"]["cached"] for r in results.values())
+        assert executed == 6
+        assert served == 6

@@ -1,0 +1,123 @@
+"""SnapshotStore pruning: keep-latest budgets, pins, dry runs."""
+
+import os
+
+import pytest
+
+from repro import cli
+from repro.snapshot.disk import SnapshotStore
+from repro.snapshot.protocol import SnapshotError
+from repro.snapshot.state import PAYLOAD_VERSION, Snapshot
+
+
+def fill_store(directory, n=5):
+    """n snapshots k0..k(n-1), k0 oldest by mtime."""
+    store = SnapshotStore(directory)
+    for i in range(n):
+        payload = {"version": PAYLOAD_VERSION, "time": float(i),
+                   "events": [], "states": []}
+        store.put(f"k{i}", Snapshot(payload))
+        # Spread mtimes deterministically instead of sleeping.
+        stamp = 1_000_000 + i
+        os.utime(store.path(f"k{i}"), (stamp, stamp))
+    return store
+
+
+class TestPrune:
+    def test_keeps_latest_n(self, tmp_path):
+        store = fill_store(tmp_path)
+        report = store.prune(keep_latest=2)
+        assert report["kept"] == ["k4", "k3"]
+        assert report["deleted"] == ["k2", "k1", "k0"]
+        assert sorted(store.keys()) == ["k3", "k4"]
+
+    def test_pinned_survive_and_do_not_consume_budget(self, tmp_path):
+        store = fill_store(tmp_path)
+        store.pin("k0")  # the oldest — prime pruning candidate
+        report = store.prune(keep_latest=2)
+        assert "k0" in report["kept"]
+        assert report["pinned"] == ["k0"]
+        # The budget still kept the two newest unpinned snapshots.
+        assert sorted(store.keys()) == ["k0", "k3", "k4"]
+
+    def test_latest_survives(self, tmp_path):
+        store = fill_store(tmp_path)
+        store.prune(keep_latest=1)
+        assert store.keys() == ["k4"]
+        assert store.get("k4") is not None
+
+    def test_keep_zero_deletes_all_unpinned(self, tmp_path):
+        store = fill_store(tmp_path, n=3)
+        store.pin("k1")
+        store.prune(keep_latest=0)
+        assert store.keys() == ["k1"]
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store = fill_store(tmp_path)
+        report = store.prune(keep_latest=1, dry_run=True)
+        assert len(report["deleted"]) == 4
+        assert len(store) == 5
+
+    def test_negative_budget_rejected(self, tmp_path):
+        store = fill_store(tmp_path, n=1)
+        with pytest.raises(ValueError):
+            store.prune(keep_latest=-1)
+
+    def test_prune_is_idempotent(self, tmp_path):
+        store = fill_store(tmp_path)
+        store.prune(keep_latest=2)
+        report = store.prune(keep_latest=2)
+        assert report["deleted"] == []
+        assert sorted(store.keys()) == ["k3", "k4"]
+
+
+class TestPins:
+    def test_pin_unpin(self, tmp_path):
+        store = fill_store(tmp_path, n=2)
+        store.pin("k0")
+        assert store.pinned("k0")
+        store.unpin("k0")
+        assert not store.pinned("k0")
+
+    def test_pin_missing_snapshot_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(SnapshotError):
+            store.pin("nope")
+
+    def test_discard_removes_pin_marker(self, tmp_path):
+        store = fill_store(tmp_path, n=1)
+        store.pin("k0")
+        store.discard("k0")
+        assert not store.pinned("k0")
+        assert not os.path.exists(store.pin_path("k0"))
+
+
+class TestGcCli:
+    def test_gc_command(self, tmp_path, capsys):
+        store = fill_store(tmp_path / "snaps")
+        store.pin("k0")
+        code = cli.main([
+            "snapshot", "gc", "--snapshot-dir", str(tmp_path / "snaps"),
+            "--keep-latest", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deleted 2" in out
+        assert "1 pinned" in out
+        assert sorted(store.keys()) == ["k0", "k3", "k4"]
+
+    def test_gc_dry_run(self, tmp_path, capsys):
+        fill_store(tmp_path / "snaps")
+        code = cli.main([
+            "snapshot", "gc", "--snapshot-dir", str(tmp_path / "snaps"),
+            "--keep-latest", "1", "--dry-run",
+        ])
+        assert code == 0
+        assert "would delete 4" in capsys.readouterr().out
+        assert len(SnapshotStore(tmp_path / "snaps")) == 5
+
+    def test_gc_requires_arguments(self, capsys, tmp_path):
+        assert cli.main(["snapshot", "gc", "--keep-latest", "1"]) == 2
+        assert cli.main([
+            "snapshot", "gc", "--snapshot-dir", str(tmp_path),
+        ]) == 2
