@@ -156,11 +156,16 @@ def _cmd_trace(args):
         sink=sink,
     )
     with installed(tracer):
-        if args.experiment == "goal" and (args.pulse or args.lookahead):
+        beam = getattr(args, "beam", None)
+        if args.experiment == "goal" and (args.pulse or args.lookahead
+                                          or beam):
             from repro.snapshot.scenario import run_pulse_goal
 
-            pulse_kwargs = {"lookahead": args.lookahead,
+            pulse_kwargs = {"lookahead": args.lookahead or bool(beam),
                             "horizon": args.horizon}
+            if beam:
+                pulse_kwargs["beam_width"] = beam
+                pulse_kwargs["beam_depth"] = args.depth
             if args.goal is not None:
                 pulse_kwargs["goal_seconds"] = args.goal
             if args.energy is not None:
@@ -168,11 +173,16 @@ def _cmd_trace(args):
             summary = run_pulse_goal(**pulse_kwargs)
             print(f"pulse goal: {'MET' if summary['goal_met'] else 'MISSED'} "
                   f"(residual {summary['battery_residual_j']:.0f} J)")
-            if args.lookahead:
+            if pulse_kwargs["lookahead"]:
                 look = summary["lookahead"]
                 print(f"lookahead: {look['evaluations']} evaluations, "
                       f"{look['overrides']} overrides, "
                       f"{look['branches_run']} branches")
+            if beam:
+                plan = summary["lookahead"]["beam"]
+                print(f"beam: width {plan['width']} x depth "
+                      f"{plan['depth']}, {plan['plans']} plans, "
+                      f"{plan['expansions']} expansions")
         elif args.experiment == "goal":
             from repro.experiments import run_goal_experiment
 
@@ -354,6 +364,13 @@ def build_parser():
                         "are traced on the 'branch' category")
     p.add_argument("--horizon", type=float, default=12.0,
                    help="lookahead branch horizon in seconds (default 12)")
+    p.add_argument("--beam", type=_positive_int, default=None, metavar="W",
+                   help="beam-search adaptation schedules with width W "
+                        "(implies --lookahead); keeps the W best-margin "
+                        "schedules per stage")
+    p.add_argument("--depth", type=_positive_int, default=2,
+                   help="beam stages across the horizon (default 2; "
+                        "only with --beam)")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (bursty)")
     p.add_argument("--seconds", type=float, default=20.0,
@@ -415,8 +432,10 @@ def build_parser():
                    help="re-run regressed benchmarks up to N times before "
                         "failing --compare, to reject scheduler noise "
                         "(default 2; 0 disables)")
-    p.add_argument("--only", nargs="*", default=None,
-                   help="subset of benchmarks to run")
+    p.add_argument("--only", nargs="*", default=None, metavar="NAME",
+                   help="subset of benchmarks to run; each token matches "
+                        "by substring (e.g. 'snapshot' selects every "
+                        "snapshot_* bench)")
     p.add_argument("--repeats", type=_positive_int, default=None,
                    help="repeat count per benchmark (min is reported)")
 

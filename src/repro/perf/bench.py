@@ -316,6 +316,88 @@ def bench_snapshot_restore(quick, repeats):
     }
 
 
+def bench_fork_branch(quick, repeats):
+    """Pooled branch forking: the lookahead evaluator's steady state.
+
+    Captures once, then restores into a recycled scenario over and over
+    — no builder, no allocation churn.  This is the per-branch floor
+    the what-if evaluator and the beam planner pay.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import NULL_TRACER
+    from repro.snapshot.scenario import build_pulse_scenario
+    from repro.snapshot.state import Snapshot
+
+    count = 500 if quick else 3_000
+    scenario = build_pulse_scenario().start().run(until=120.0)
+    snap = Snapshot.capture(scenario.sim)
+    pooled = snap.fork(lookahead=False, tracer=NULL_TRACER,
+                       metrics=MetricsRegistry())
+
+    def run():
+        for _ in range(count):
+            snap.fork(reuse=pooled)
+        return pooled
+
+    seconds, _ = _best_of(run, max(repeats, _MIN_CHEAP_REPEATS))
+    return {
+        "seconds": seconds,
+        "forks": count,
+        "forks_per_s": count / seconds if seconds else 0.0,
+    }
+
+
+def bench_cow_capture_scaling(quick, repeats):
+    """Capture cost vs journal length: the copy-on-write contract.
+
+    Builds two machines whose journals differ ~8x in segment count and
+    times repeated captures of each.  With the sealed-prefix journal
+    the first capture pays O(journal) once to seal it; every later
+    capture copies only the open tail, so the per-capture ratio between
+    the two journals should sit near 1.0 (sublinear in length), where a
+    full-copy capture would sit near 8.
+    """
+    from repro.snapshot.scenario import build_pulse_scenario
+    from repro.snapshot.state import Snapshot
+
+    captures = 200 if quick else 1_000
+    short_until, long_until = (30.0, 240.0) if quick else (30.0, 250.0)
+
+    def timed_captures(until):
+        scenario = build_pulse_scenario(
+            goal_seconds=300.0, initial_energy=20_000.0,
+        ).start().run(until=until)
+        segments = len(scenario.machine._journal)
+        # First capture seals the closed prefix (the one-time O(n)).
+        Snapshot.capture(scenario.sim)
+
+        def run():
+            snap = None
+            for _ in range(captures):
+                snap = Snapshot.capture(scenario.sim)
+            return snap
+
+        seconds, _ = _best_of(run, max(repeats, _MIN_CHEAP_REPEATS))
+        return seconds / captures, segments
+
+    short_s, short_segments = timed_captures(short_until)
+    long_s, long_segments = timed_captures(long_until)
+    ratio = long_s / short_s if short_s else 0.0
+    return {
+        # `seconds` is the long-journal per-capture time — the one the
+        # COW change is supposed to keep flat.
+        "seconds": long_s,
+        "short_segments": short_segments,
+        "long_segments": long_segments,
+        "short_capture_s": short_s,
+        "long_capture_s": long_s,
+        "scaling_ratio": ratio,
+        "length_ratio": (
+            long_segments / short_segments if short_segments else 0.0
+        ),
+    }
+
+
 def bench_fork_lookahead(quick, repeats):
     """One full lookahead-policy goal run: fork + branch-advance bound.
 
@@ -353,6 +435,8 @@ _BENCHES = {
     "tracer_overhead": bench_tracer_overhead,
     "snapshot_capture": bench_snapshot_capture,
     "snapshot_restore": bench_snapshot_restore,
+    "fork_branch": bench_fork_branch,
+    "cow_capture_scaling": bench_cow_capture_scaling,
     "fork_lookahead": bench_fork_lookahead,
 }
 
@@ -363,18 +447,29 @@ def run_benchmarks(quick=False, only=None, repeats=None):
     """Run the suite; returns the result dict (the ``BENCH_core.json`` shape).
 
     ``quick`` shrinks every workload for CI smoke use; ``only`` limits
-    to a subset of :data:`BENCH_NAMES` (calibration always runs, since
-    comparison needs it).  ``repeats`` overrides the default repeat
-    count (1 quick, 3 full); the reported time is the min over repeats.
+    the suite by substring: each token selects every benchmark whose
+    name contains it (``only=["snapshot"]`` runs both snapshot benches;
+    an exact name still selects just itself).  Calibration always runs,
+    since comparison needs it.  ``repeats`` overrides the default
+    repeat count (1 quick, 3 full); the reported time is the min over
+    repeats.
     """
     if repeats is None:
         repeats = 1 if quick else 3
-    selected = list(BENCH_NAMES) if not only else list(only)
-    for name in selected:
-        if name not in _BENCHES:
-            raise ValueError(
-                f"unknown benchmark {name!r}; choose from {BENCH_NAMES}"
-            )
+    if not only:
+        selected = list(BENCH_NAMES)
+    else:
+        selected = []
+        for token in only:
+            matches = [name for name in BENCH_NAMES if token in name]
+            if not matches:
+                raise ValueError(
+                    f"no benchmark matches {token!r}; "
+                    f"choose from {BENCH_NAMES}"
+                )
+            for name in matches:
+                if name not in selected:
+                    selected.append(name)
     if "calibration" not in selected:
         selected.insert(0, "calibration")
     benches = {}
@@ -497,6 +592,13 @@ def _detail(name, metrics):
                 f"{metrics['payload_events']} events)")
     if name == "snapshot_restore":
         return f"{metrics['restores_per_s']:,.0f} restores/s"
+    if name == "fork_branch":
+        return f"{metrics['forks_per_s']:,.0f} pooled forks/s"
+    if name == "cow_capture_scaling":
+        return (f"{metrics['length_ratio']:.1f}x segments -> "
+                f"{metrics['scaling_ratio']:.2f}x capture time "
+                f"({metrics['long_segments']} segments, "
+                f"{metrics['long_capture_s'] * 1e6:.0f} us/capture)")
     if name == "fork_lookahead":
         return (f"{metrics['branches']} branches, "
                 f"{metrics['branches_per_s']:,.0f}/s")

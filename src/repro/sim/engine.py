@@ -118,13 +118,20 @@ class Simulator:
         # one attribute load and one branch.
         self.tracer = tracer if tracer is not None else current_tracer()
         self._trace = self.tracer.gate("sim")
+        # Bounded-run marker: set while `run(until=...)` (or an
+        # equivalent driver loop) is in charge, so periodic callbacks
+        # that batch work ahead of the clock (see OnlinePowerMonitor's
+        # fused sampling) know how far they may safely run.
+        self._fuse_until = None
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay, callback):
         """Run ``callback(sim_time)`` after ``delay`` simulated seconds."""
-        if delay < 0 or math.isnan(delay):
+        # `delay != delay` is the NaN test without a math.isnan call;
+        # this runs tens of thousands of times per simulated minute.
+        if delay < 0 or delay != delay:
             raise SchedulingError(f"cannot schedule {delay!r}s in the past")
         seq = self._next_seq
         self._next_seq = seq + 1
@@ -226,9 +233,32 @@ class Simulator:
             return self.now
         if until < self.now:
             raise SchedulingError(f"cannot run until {until} < now {self.now}")
-        while self._heap and self._heap[0][0] <= until:
-            if not self.step():
-                break
+        previous = self._fuse_until
+        self._fuse_until = until
+        try:
+            if self._trace is not None:
+                while self._heap and self._heap[0][0] <= until:
+                    if not self.step():
+                        break
+            else:
+                # Traceless inner loop: the same dispatch as step(),
+                # inlined — this is the branch-advance hot path.
+                heap = self._heap
+                cancelled = self._cancelled
+                pop = heapq.heappop
+                while heap and heap[0][0] <= until:
+                    when, seq, callback = pop(heap)
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                        continue
+                    if when < self.now:
+                        raise ProcessError(
+                            "event heap corrupted: time ran backwards"
+                        )
+                    self.now = when
+                    callback(when)
+        finally:
+            self._fuse_until = previous
         self.now = until
         return self.now
 

@@ -26,6 +26,18 @@ Branch runs are invisible to the parent's metrics and decision spine:
 they fork with ``NULL_TRACER`` plus a fresh registry, and the parent
 emits their verdicts on the ``branch`` category/track, which
 :func:`repro.obs.diff.decision_spine` (``core`` only) never reads.
+
+Beam search
+-----------
+:class:`BeamLookaheadController` generalizes the two-branch evaluation
+to *schedules*: the horizon is split into ``beam_depth`` stages, each
+stage expands every surviving branch with the feasible actions (hold,
+degrade, upgrade), and only the ``beam_width`` best-margin branches
+survive to the next stage.  Stage boundaries re-capture the branch —
+forking a fork — which is exactly the O(changes) case the copy-on-write
+journal exists for.  The chosen schedule's *first* action is what the
+parent actually takes; the rest is lookahead scaffolding, re-planned at
+the next trigger.
 """
 
 from __future__ import annotations
@@ -36,11 +48,19 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.snapshot.state import Snapshot
 
-__all__ = ["WhatIfEvaluator", "LookaheadGoalController"]
+__all__ = [
+    "WhatIfEvaluator",
+    "LookaheadGoalController",
+    "BeamLookaheadController",
+]
 
 
 class WhatIfEvaluator:
     """Fork-and-measure evaluation of candidate adaptation actions."""
+
+    #: Branch scenarios retained for reuse; branches run sequentially,
+    #: so a couple cover the steady state (beam stages briefly spike).
+    POOL_MAX = 4
 
     def __init__(self, sim, horizon=12.0):
         if horizon <= 0:
@@ -49,6 +69,12 @@ class WhatIfEvaluator:
         self.horizon = horizon
         self.evaluations = 0
         self.branches_run = 0
+        # Branch runs share one registry (never read; a fresh one per
+        # fork would just burn construction time) and recycle built
+        # scenarios through Snapshot.restore(reuse=...) — the builder
+        # is ~half the cost of a cold fork.
+        self._branch_metrics = MetricsRegistry()
+        self._branch_pool = []
 
     def evaluate(self, actions, residual, remaining, did=None, trace=None):
         """Run one branch per action; return ``{action: verdict}``.
@@ -69,10 +95,12 @@ class WhatIfEvaluator:
                     did, trace):
         # Branches are plain-policy (no nested lookahead) and private:
         # an explicit null tracer keeps the branch sim from resolving
-        # the process-installed tracer, and a fresh registry keeps its
-        # counters out of the parent's metrics.
+        # the process-installed tracer, and the evaluator-private
+        # registry keeps its counters out of the parent's metrics.
+        reuse = self._branch_pool.pop() if self._branch_pool else None
         scenario = snapshot.fork(
-            lookahead=False, tracer=NULL_TRACER, metrics=MetricsRegistry()
+            reuse=reuse, lookahead=False, tracer=NULL_TRACER,
+            metrics=self._branch_metrics,
         )
         if action == DEGRADE:
             scenario.viceroy.degrade_once(decision_id=did)
@@ -96,7 +124,43 @@ class WhatIfEvaluator:
         if trace is not None:
             trace.instant(t0, "branch", f"branch.{action}", track="branch",
                           args=dict(verdict, did=did))
+        if len(self._branch_pool) < self.POOL_MAX:
+            self._branch_pool.append(scenario)
         return verdict
+
+    def expand(self, snapshot, action, stage_s, did=None):
+        """Fork, apply ``action``, advance one beam stage, re-capture.
+
+        Returns ``(energy_j, stage_snapshot)``, or ``None`` when the
+        branch cannot perform ``action`` (ladder exhausted in that
+        direction).  The re-capture is a fork-of-a-fork: the stage
+        snapshot shares the branch's sealed journal blocks, so chaining
+        stages stays O(changes per stage).
+        """
+        reuse = self._branch_pool.pop() if self._branch_pool else None
+        scenario = snapshot.fork(
+            reuse=reuse, lookahead=False, tracer=NULL_TRACER,
+            metrics=self._branch_metrics,
+        )
+        applied = True
+        if action == DEGRADE:
+            applied = scenario.viceroy.degrade_once(decision_id=did) is not None
+        elif action == UPGRADE:
+            applied = scenario.viceroy.upgrade_once(decision_id=did) is not None
+        if not applied:
+            if len(self._branch_pool) < self.POOL_MAX:
+                self._branch_pool.append(scenario)
+            return None
+        machine = scenario.machine
+        t0 = scenario.sim.now
+        start_energy = machine.finish()
+        scenario.sim.run(until=t0 + stage_s)
+        energy = machine.finish() - start_energy
+        stage_snapshot = Snapshot.capture(scenario.sim)
+        self.branches_run += 1
+        if len(self._branch_pool) < self.POOL_MAX:
+            self._branch_pool.append(scenario)
+        return energy, stage_snapshot
 
 
 class LookaheadGoalController(GoalDirectedController):
@@ -185,3 +249,153 @@ class LookaheadGoalController(GoalDirectedController):
             self.lookahead_evaluations = int(extra["evaluations"])
             self.overrides = int(extra["overrides"])
             self.evaluator.branches_run = int(extra["branches_run"])
+
+
+class BeamLookaheadController(LookaheadGoalController):
+    """Lookahead controller that plans over action *schedules*.
+
+    Where :class:`LookaheadGoalController` vets a single proposal with
+    two branches, this controller beam-searches candidate schedules: the
+    (goal-clamped) horizon is split into ``beam_depth`` equal stages;
+    each stage expands every surviving branch with the feasible actions
+    and keeps the ``beam_width`` best projected margins.  A completed
+    schedule's margin uses the same formula as the two-branch evaluator,
+    with the schedule's *measured* burn rate over its whole horizon.
+
+    Decision rule: among completed schedules whose margin is
+    non-negative, take the one with the richest first action
+    (upgrade > hold > degrade), margin breaking ties; if none clears
+    the goal, take the maximum-margin schedule.  Only that first action
+    is applied — the rest of the schedule is re-planned at the next
+    trigger, so beam search changes *which* adaptation fires, never the
+    decision cadence.
+    """
+
+    _RICHNESS = {UPGRADE: 2, HOLD: 1, DEGRADE: 0}
+
+    def __init__(self, viceroy, monitor, initial_energy, goal_seconds,
+                 horizon=12.0, beam_width=4, beam_depth=2, **kwargs):
+        if beam_width < 1:
+            raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+        if beam_depth < 1:
+            raise ValueError(f"beam_depth must be >= 1, got {beam_depth}")
+        super().__init__(viceroy, monitor, initial_energy, goal_seconds,
+                         horizon=horizon, **kwargs)
+        self.beam_width = int(beam_width)
+        self.beam_depth = int(beam_depth)
+        self.beam_plans = 0
+        self.beam_expansions = 0
+
+    def _choose_action(self, now, did, demand, residual):
+        proposal = self.trigger.decide(demand, residual)
+        if proposal == HOLD or self.sim.snapshot_builder is None:
+            return proposal
+        if proposal == UPGRADE and not self._upgrade_allowed(now):
+            # The rate limit will veto it anyway; don't pay for forks.
+            return proposal
+        remaining = self.time_remaining
+        horizon = min(self.horizon, remaining)
+        if horizon <= self.decision_period:
+            return proposal
+        best = self._beam_plan(now, did, residual, remaining, horizon)
+        self.lookahead_evaluations += 1
+        chosen = best["schedule"][0]
+        if chosen != proposal:
+            self.overrides += 1
+        if self._branch_trace is not None:
+            self._branch_trace.instant(
+                now, "branch", "beam.verdict", track="branch",
+                args={
+                    "did": did,
+                    "proposal": proposal,
+                    "chosen": chosen,
+                    "schedule": list(best["schedule"]),
+                    "margin_j": best["margin"],
+                    "width": self.beam_width,
+                    "depth": self.beam_depth,
+                },
+            )
+        return chosen
+
+    def _beam_plan(self, now, did, residual, remaining, horizon):
+        """Run the beam search; returns the winning candidate dict."""
+        self.beam_plans += 1
+        stage_s = horizon / self.beam_depth
+        evaluator = self.evaluator
+        beam = [{
+            "snapshot": Snapshot.capture(self.sim),
+            "energy": 0.0,
+            "elapsed": 0.0,
+            "schedule": (),
+            "margin": 0.0,
+        }]
+        for depth in range(self.beam_depth):
+            first = depth == 0
+            candidates = []
+            for item in beam:
+                for action in (HOLD, DEGRADE, UPGRADE):
+                    if (first and action == UPGRADE
+                            and not self._upgrade_allowed(now)):
+                        continue
+                    expanded = evaluator.expand(
+                        item["snapshot"], action, stage_s, did=did,
+                    )
+                    if expanded is None:
+                        continue
+                    self.beam_expansions += 1
+                    energy, snap = expanded
+                    total = item["energy"] + energy
+                    elapsed = item["elapsed"] + stage_s
+                    rate = total / elapsed
+                    margin = ((residual - total)
+                              - rate * max(0.0, remaining - elapsed))
+                    candidates.append({
+                        "snapshot": snap,
+                        "energy": total,
+                        "elapsed": elapsed,
+                        "schedule": item["schedule"] + (action,),
+                        "margin": margin,
+                    })
+            if not candidates:
+                break
+            # Stable sort: margin ties keep expansion order (hold
+            # before degrade before upgrade), so planning is exactly
+            # deterministic.
+            candidates.sort(key=lambda c: -c["margin"])
+            beam = candidates[:self.beam_width]
+        viable = [c for c in beam if c["margin"] >= 0.0]
+        if viable:
+            return max(viable, key=lambda c: (
+                self._RICHNESS[c["schedule"][0]], c["margin"],
+            ))
+        return beam[0]
+
+    def lookahead_summary(self):
+        summary = super().lookahead_summary()
+        summary["beam"] = {
+            "width": self.beam_width,
+            "depth": self.beam_depth,
+            "plans": self.beam_plans,
+            "expansions": self.beam_expansions,
+        }
+        return summary
+
+    # ------------------------------------------------------------------
+    # snapshot protocol (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __snapshot__(self, ctx):
+        state = super().__snapshot__(ctx)
+        # Inside the lookahead dict: plain-lookahead payloads (and the
+        # goldens pinned to them) stay byte-identical.
+        state["lookahead"]["beam"] = {
+            "plans": self.beam_plans,
+            "expansions": self.beam_expansions,
+        }
+        return state
+
+    def __restore__(self, state, ctx):
+        super().__restore__(state, ctx)
+        beam = (state.get("lookahead") or {}).get("beam")
+        if beam:
+            self.beam_plans = int(beam["plans"])
+            self.beam_expansions = int(beam["expansions"])

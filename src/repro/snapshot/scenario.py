@@ -220,17 +220,39 @@ class PulseScenario:
         target = until if until is not None else self.controller.goal_time
         if target is None:
             target = self.params["goal_seconds"]
-        while self.failed_at is None:
-            next_at = self.sim.peek()
-            if next_at is None or next_at > target:
-                break
-            self.sim.step()
-            if self.battery.exhausted:
-                self.failed_at = self.sim.now
+        sim = self.sim
+        # Mark the bounded run so the monitor may fuse tick batches;
+        # exhaustion still surfaces at the exact per-event instant (a
+        # fused batch ends the moment the battery clamps).
+        previous = sim._fuse_until
+        sim._fuse_until = target
+        try:
+            while self.failed_at is None:
+                next_at = sim.peek()
+                if next_at is None or next_at > target:
+                    break
+                sim.step()
+                if self.battery.exhausted:
+                    self.failed_at = sim.now
+        finally:
+            sim._fuse_until = previous
         if self.failed_at is None:
-            self.sim.run(until=target)
+            sim.run(until=target)
         self.machine.advance()
         return self
+
+    def prepare_reuse(self):
+        """Reset run-level state so :meth:`Snapshot.restore` can reuse
+        this scenario in place of a fresh build (branch pooling).
+
+        Only clears what ``__restore__`` does not overwrite: the event
+        heap (restore re-pushes every claimed entry), its tombstones,
+        and the exhaustion flag.
+        """
+        sim = self.sim
+        sim._heap.clear()
+        sim._cancelled.clear()
+        self.failed_at = None
 
     def summary(self):
         """JSON-shaped outcome record (the fleet task return value)."""
@@ -255,6 +277,7 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
                          decision_period=0.5, halflife_fraction=0.10,
                          upgrade_min_interval=15.0, sample_period=0.1,
                          lookahead=False, horizon=12.0,
+                         beam_width=0, beam_depth=2,
                          tracer=None, metrics=None):
     """Build the pulse stack, never started, fully registered.
 
@@ -262,6 +285,10 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
     identity: they are excluded from the recorded builder params, so a
     branch forked with a private tracer still shares its parent's
     snapshot key.
+
+    ``beam_width`` >= 1 with ``lookahead`` selects the beam-search
+    controller (see :class:`repro.snapshot.lookahead
+    .BeamLookaheadController`); 0 keeps the two-branch evaluator.
     """
     params = {
         "goal_seconds": goal_seconds,
@@ -273,6 +300,12 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
         "lookahead": lookahead,
         "horizon": horizon,
     }
+    # Recorded only when the beam is on: default payloads — and the
+    # snapshot keys and goldens derived from them — stay byte-identical
+    # to the pre-beam format.
+    if beam_width:
+        params["beam_width"] = beam_width
+        params["beam_depth"] = beam_depth
     metrics = metrics if metrics is not None else MetricsRegistry()
     sim = Simulator(tracer=tracer)
     battery = Battery(initial_energy)
@@ -297,7 +330,18 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
     viceroy = Viceroy(sim, machine=machine, metrics=metrics)
     viceroy.register_application(viewer)
     viceroy.register_application(sync)
-    if lookahead:
+    if lookahead and beam_width:
+        from repro.snapshot.lookahead import BeamLookaheadController
+
+        controller = BeamLookaheadController(
+            viceroy, monitor, initial_energy, goal_seconds,
+            halflife_fraction=halflife_fraction,
+            decision_period=decision_period,
+            upgrade_min_interval=upgrade_min_interval,
+            horizon=horizon,
+            beam_width=beam_width, beam_depth=beam_depth,
+        )
+    elif lookahead:
         from repro.snapshot.lookahead import LookaheadGoalController
 
         controller = LookaheadGoalController(
