@@ -13,6 +13,11 @@ before/after traces is the readable view of the same change.
 
 Pass ``--campaign`` to (also) re-bless the fleet campaign outcome
 golden (task ordering + retry counts, ``tests/goldens/campaign-demo``).
+
+Pass ``--signatures`` to (also) re-bless the per-phase energy
+signatures (``tests/goldens/*.sig.json``) — the joule-vector goldens
+``repro verify-profile`` checks runs against.  Review changed phases
+the same way: each moved joule count is an energy-behaviour change.
 """
 
 import json
@@ -28,9 +33,12 @@ from tests.golden_scenarios import (  # noqa: E402
     CAMPAIGN_GOLDEN,
     GOLDEN_DIR,
     SCENARIOS,
+    SIGNATURE_SCENARIOS,
     golden_path,
     run_campaign_scenario,
     run_scenario,
+    run_scenario_signature,
+    signature_path,
 )
 
 
@@ -53,12 +61,48 @@ def regen_campaign():
     print(f"{CAMPAIGN_GOLDEN}: wrote {path} ({len(record)} tasks)")
 
 
+def regen_signatures(names):
+    from repro.obs.signature import diff_signatures, read_signature, \
+        write_signature
+
+    for name in names:
+        path = signature_path(name)
+        sig = run_scenario_signature(name)
+        if os.path.exists(path):
+            old = read_signature(path)
+            diff = diff_signatures(old, sig)
+            if not diff.out_of_band and diff.behaviour_match \
+                    and old["phase_count"] == sig["phase_count"]:
+                print(f"{name}: signature unchanged "
+                      f"({sig['phase_count']} phases, "
+                      f"{sig['total_joules']:.1f} J)")
+                continue
+            print(f"{name}: signature changed vs previous golden:")
+            print("  " + diff.render().replace("\n", "\n  "))
+        write_signature(sig, path)
+        print(f"{name}: wrote {path} ({sig['phase_count']} phases, "
+              f"{sig['total_joules']:.1f} J)")
+
+
 def main(argv):
     campaign = "--campaign" in argv
-    argv = [a for a in argv if a != "--campaign"]
+    signatures = "--signatures" in argv
+    argv = [a for a in argv if a not in ("--campaign", "--signatures")]
     if campaign:
         os.makedirs(GOLDEN_DIR, exist_ok=True)
         regen_campaign()
+        if not argv and not signatures:
+            return 0
+    if signatures:
+        sig_names = argv or list(SIGNATURE_SCENARIOS)
+        unknown = [n for n in sig_names if n not in SIGNATURE_SCENARIOS]
+        if unknown:
+            print(f"no signature golden for: {', '.join(unknown)} "
+                  f"(have: {', '.join(SIGNATURE_SCENARIOS)})",
+                  file=sys.stderr)
+            return 2
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        regen_signatures(sig_names)
         if not argv:
             return 0
     names = argv or sorted(SCENARIOS)

@@ -10,6 +10,7 @@ iteration every 25 seconds to obtain a continuous workload.
 
 from __future__ import annotations
 
+from repro.workloads.cursor import WorkloadCursor
 from repro.workloads.images import IMAGES
 from repro.workloads.maps import MAPS
 from repro.workloads.utterances import UTTERANCES
@@ -33,6 +34,7 @@ class CompositeApplication:
         self.images = list(images or IMAGES)
         self.maps = list(maps or MAPS)
         self.iterations_completed = 0
+        self.phases = WorkloadCursor("composite", sim=self.sim)
 
     @property
     def sim(self):
@@ -46,6 +48,7 @@ class CompositeApplication:
     # ------------------------------------------------------------------
     def run_iteration(self, index=0):
         """Generator: one loop — two utterances, a Web page, a map."""
+        self.phases.begin(f"iter{index}")
         for utterance in self.utterances[:2]:
             yield from self.speech.recognize(utterance)
         image = self.images[index % len(self.images)]
@@ -53,6 +56,7 @@ class CompositeApplication:
         city = self.maps[index % len(self.maps)]
         yield from self.mapviewer.view(city)       # includes think time
         self.iterations_completed += 1
+        self.phases.end()
 
     def run(self, iterations=6):
         """Generator: the Section 3.7 workload (six iterations)."""

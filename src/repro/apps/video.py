@@ -20,6 +20,7 @@ from repro.apps.base import AdaptiveApplication
 from repro.apps.costs import DEFAULT_COSTS
 from repro.core.warden import Warden
 from repro.hardware.display import Rect
+from repro.workloads.cursor import WorkloadCursor
 from repro.workloads.videos import WINDOWS
 
 __all__ = ["VideoWarden", "VideoPlayer", "VIDEO_LEVELS", "VIDEO_LEVEL_CONFIG"]
@@ -86,6 +87,7 @@ class VideoPlayer(AdaptiveApplication):
         self.frames_played = 0
         self.frames_late = 0
         self.frames_dropped = 0
+        self.phases = WorkloadCursor("video", sim=self.sim)
 
     # ------------------------------------------------------------------
     @property
@@ -110,6 +112,7 @@ class VideoPlayer(AdaptiveApplication):
         Fidelity is re-read every frame, so adaptation upcalls take
         effect mid-stream.
         """
+        self.phases.begin(clip.name)
         frame_count = clip.frame_count
         if max_seconds is not None:
             frame_count = min(frame_count, int(max_seconds * clip.fps))
@@ -155,6 +158,7 @@ class VideoPlayer(AdaptiveApplication):
             else:
                 self.frames_late += 1
         self.items_completed += 1
+        self.phases.end()
 
     def _fetch_frames(self, clip, ready, state):
         for index in range(len(ready)):

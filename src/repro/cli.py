@@ -282,6 +282,44 @@ def _cmd_diff(args):
     return 0
 
 
+def _cmd_verify_profile(args):
+    """Verify a traced run's energy signature against a golden."""
+    import json
+
+    from repro.obs.export import read_events_jsonl
+    from repro.obs.signature import (SignatureError, read_signature,
+                                     verify_signature)
+
+    try:
+        events = read_events_jsonl(args.run)
+        golden = read_signature(args.against)
+        diff = verify_signature(
+            events, golden,
+            rel_tolerance=args.tolerance,
+            abs_tolerance_j=args.abs_tolerance,
+        )
+    except (OSError, SignatureError, ValueError) as exc:
+        print(f"verify-profile: {exc}", file=sys.stderr)
+        return 2
+    # Write the JSON before printing the report so a closed stdout
+    # still leaves the artifact on disk (same contract as `repro diff`).
+    if args.json:
+        import os
+
+        out_dir = os.path.dirname(args.json)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(diff.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(diff.render(max_phases=args.max_phases))
+    if args.json:
+        print(f"wrote {args.json}")
+    if diff.regression:
+        return 1
+    return 0
+
+
 def build_parser():
     """Build the argparse parser for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -347,7 +385,7 @@ def build_parser():
                    help="ring-buffer capacity (default: unbounded)")
     p.add_argument("--categories", nargs="*", default=None,
                    choices=("sim", "power", "core", "powerscope", "fleet",
-                            "branch", "service"),
+                            "branch", "service", "workload"),
                    help="restrict tracing to these categories")
     p.add_argument("--goal", type=float, default=None,
                    help="goal seconds (goal/bursty; default 400, "
@@ -399,6 +437,34 @@ def build_parser():
                    help="windows to show in the text report (default 10)")
     p.add_argument("--fail-on-divergence", action="store_true",
                    help="exit 1 if the decision spines differ (CI gate)")
+
+    p = sub.add_parser(
+        "verify-profile",
+        help="verify a traced run's per-phase energy signature against "
+             "a golden; exits 1 when behaviour matches but energy does "
+             "not (or 2 on unreadable inputs)",
+    )
+    p.add_argument("run", help="traced run to verify (PREFIX.jsonl)")
+    p.add_argument("--against", required=True, metavar="PATH",
+                   help="golden signature JSON (from regen_goldens.py "
+                        "--signatures or repro.obs.write_signature)")
+    p.add_argument("--tolerance", type=float, default=None, metavar="REL",
+                   help="relative per-phase tolerance (default: the "
+                        "golden's recorded band)")
+    p.add_argument("--abs-tolerance", type=float, default=None, metavar="J",
+                   help="absolute per-phase tolerance floor in joules "
+                        "(default: the golden's recorded band)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the signature diff as deterministic "
+                        "JSON")
+    p.add_argument("--max-phases", type=_positive_int, default=10,
+                   help="out-of-band phases to show in the text report "
+                        "(default 10)")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="explicit CI marker; regressions already exit 1")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the metrics snapshot (signature.* series) "
+                        "as JSON")
 
     p = sub.add_parser(
         "export-figures", help="write every figure's plot data as CSV"
@@ -1158,6 +1224,8 @@ def _dispatch(args):
         return _cmd_trace(args)
     if args.command == "diff":
         return _cmd_diff(args)
+    if args.command == "verify-profile":
+        return _cmd_verify_profile(args)
     if args.command == "export-figures":
         from repro.experiments import export_figures
 

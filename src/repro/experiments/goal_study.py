@@ -225,15 +225,18 @@ def _bursty_app_main(rig, name, schedule, minute_s=60.0):
     """One application alternating active/idle minutes per its schedule."""
     sim = rig.sim
     apps = rig.apps
+    from repro.workloads.cursor import WorkloadCursor
     from repro.workloads.images import IMAGES
     from repro.workloads.maps import MAPS
 
+    phases = WorkloadCursor(f"bursty-{name}", sim=sim)
     for minute in range(len(schedule)):
         minute_end = (minute + 1) * minute_s
         if not schedule.active_in_minute(minute):
             if sim.now < minute_end:
                 yield sim.timeout(minute_end - sim.now)
             continue
+        phases.begin(f"min{minute}")
         if name == "video":
             yield from apps["video"].play_loop(
                 VIDEO_CLIPS[0], duration=max(0.0, minute_end - sim.now)
@@ -256,6 +259,7 @@ def _bursty_app_main(rig, name, schedule, minute_s=60.0):
             while sim.now < minute_end - 10.0:
                 yield from apps["web"].browse(IMAGES[index % len(IMAGES)])
                 index += 1
+        phases.end()
         if sim.now < minute_end:
             yield sim.timeout(minute_end - sim.now)
 

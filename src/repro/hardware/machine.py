@@ -575,6 +575,9 @@ class Machine:
         self._last_emitted_sid = segment.sid
         dur = segment.t1 - segment.t0
         process, procedure = segment.context
+        components = dict(segment.comp_powers)
+        if segment.correction:
+            components["(superlinear)"] = segment.correction
         self._trace.complete(
             segment.t0, "power", "span", dur=dur, track="machine",
             args={
@@ -583,6 +586,7 @@ class Machine:
                 "joules": segment.power * dur,
                 "process": process,
                 "procedure": procedure,
+                "components": components,
             },
         )
 

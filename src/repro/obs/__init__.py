@@ -31,6 +31,15 @@ from repro.obs.metrics import (
     current_metrics,
     set_metrics,
 )
+from repro.obs.signature import (
+    SignatureDiff,
+    SignatureError,
+    compute_signature,
+    diff_signatures,
+    read_signature,
+    verify_signature,
+    write_signature,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     JsonlSink,
@@ -59,4 +68,11 @@ __all__ = [
     "MetricsRegistry",
     "current_metrics",
     "set_metrics",
+    "SignatureDiff",
+    "SignatureError",
+    "compute_signature",
+    "diff_signatures",
+    "verify_signature",
+    "read_signature",
+    "write_signature",
 ]

@@ -173,7 +173,7 @@ class DivergenceWindow:
 
     __slots__ = ("start_did", "end_did", "t0", "t1",
                  "entries_a", "entries_b",
-                 "energy_a", "energy_b", "energy_delta")
+                 "energy_a", "energy_b", "energy_delta", "energy_share")
 
     def __init__(self, start_did, end_did, t0, t1, entries_a, entries_b):
         self.start_did = start_did
@@ -185,6 +185,7 @@ class DivergenceWindow:
         self.energy_a = None
         self.energy_b = None
         self.energy_delta = None
+        self.energy_share = None
 
     @property
     def decisions(self):
@@ -205,6 +206,8 @@ class DivergenceWindow:
             record["energy_a"] = self.energy_a
             record["energy_b"] = self.energy_b
             record["energy_delta"] = self.energy_delta
+        if self.energy_share is not None:
+            record["energy_share"] = self.energy_share
         return record
 
     def __repr__(self):
@@ -302,6 +305,8 @@ class TraceDiff:
                 line += (f" energy A {window.energy_a:.1f} J, "
                          f"B {window.energy_b:.1f} J, "
                          f"delta {window.energy_delta:+.1f} J")
+            if window.energy_share is not None:
+                line += f" [{window.energy_share * 100:.1f}% of run]"
             lines.append(line)
         total = sum(w.energy_delta for w in self.windows
                     if w.energy_delta is not None)
@@ -404,14 +409,25 @@ def attribute_energy(diff, events_a, events_b):
     Uses the same ``power/span`` journal segments the
     :func:`~repro.obs.export.join_power` event↔energy join resolves
     against, so the delta is exactly the machine-journal energy each
-    side spent across the divergent interval.  Returns ``diff``.
+    side spent across the divergent interval.  Each window also gets
+    ``energy_share`` — the larger of its two sides' fractions of that
+    side's whole-run energy, a severity measure readable at a glance.
+    Returns ``diff``.
     """
     spans_a = power_spans(events_a)
     spans_b = power_spans(events_b)
+    total_a = sum((span["watts"] or 0.0) * (span["dur"] or 0.0)
+                  for span in spans_a.values())
+    total_b = sum((span["watts"] or 0.0) * (span["dur"] or 0.0)
+                  for span in spans_b.values())
     for window in diff.windows:
         window.energy_a = window_energy(spans_a, window.t0, window.t1)
         window.energy_b = window_energy(spans_b, window.t0, window.t1)
         window.energy_delta = window.energy_b - window.energy_a
+        window.energy_share = max(
+            window.energy_a / total_a if total_a > 0 else 0.0,
+            window.energy_b / total_b if total_b > 0 else 0.0,
+        )
     return diff
 
 

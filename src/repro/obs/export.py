@@ -230,8 +230,8 @@ def power_spans(events):
     """Index the machine's journal-span events by segment id.
 
     Returns ``{sid: {"t0", "dur", "watts", "joules", "process",
-    "procedure"}}`` built from the ``power/span`` complete-events the
-    machine emits as journal segments close.
+    "procedure", "components"}}`` built from the ``power/span``
+    complete-events the machine emits as journal segments close.
     """
     spans = {}
     for event in events:
@@ -249,6 +249,7 @@ def power_spans(events):
             "joules": args.get("joules"),
             "process": args.get("process"),
             "procedure": args.get("procedure"),
+            "components": args.get("components"),
         }
     return spans
 

@@ -12,6 +12,12 @@ from repro.powerscope.correlate import CorrelationError, correlate
 from repro.powerscope.diff import ProfileDelta, diff_profiles, render_diff
 from repro.powerscope.multimeter import Multimeter, SystemMonitor
 from repro.powerscope.online import OnlinePowerMonitor
+from repro.powerscope.phases import (
+    fold_phase_energy,
+    machine_phase_energy,
+    segments_from_journal,
+    spans_to_segments,
+)
 from repro.powerscope.profile import EnergyProfile, ProfileEntry
 from repro.powerscope.smartbattery import GAUGE_OVERHEAD_W, SmartBatteryGauge
 from repro.powerscope.report import render_process_detail, render_profile
@@ -35,6 +41,10 @@ __all__ = [
     "diff_profiles",
     "render_diff",
     "profile_run",
+    "fold_phase_energy",
+    "machine_phase_energy",
+    "segments_from_journal",
+    "spans_to_segments",
 ]
 
 

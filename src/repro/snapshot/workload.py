@@ -1,0 +1,312 @@
+"""Snapshot-capable Section 5 workloads: item-driven state machines.
+
+:mod:`repro.snapshot.scenario` made the goal stack checkpointable with
+a synthetic pulsed workload; the paper's actual Section 5 objects
+(video clips, utterances, maps, web images) still ran as generator
+coroutines, which no snapshot can cross.  This module closes that
+coverage gap: :class:`ItemWorkloadApp` walks a workload's item cycle as
+a timer-driven state machine — work one item (component at the current
+fidelity wattage, machine context attributing the joules to the item),
+think, repeat — with its position held in an explicit
+:class:`~repro.workloads.cursor.WorkloadCursor` and its think-time
+model carrying the ``__cursor__``/``__seek__`` protocol.  Both cursors
+ride inside ``__snapshot__`` state, so a mid-phase capture forks to a
+byte-identical continuation, and the emitted ``phase.begin`` instants
+segment energy signatures per item.
+
+Item durations and wattages are derived from the real workload
+descriptors (clip lengths, recognition real-time factors, per-fidelity
+transfer sizes), scaled so a single-app run brackets the default goal
+the same way the pulse rig does.
+"""
+
+from __future__ import annotations
+
+from repro.core.goal import GoalDirectedController
+from repro.core.viceroy import Viceroy
+from repro.hardware.battery import Battery
+from repro.hardware.component import PowerComponent
+from repro.hardware.machine import Machine
+from repro.obs.metrics import MetricsRegistry
+from repro.powerscope.online import OnlinePowerMonitor
+from repro.sim import Simulator
+from repro.snapshot.scenario import PLATFORM_WATTS, PulseScenario
+from repro.workloads.cursor import WorkloadCursor
+from repro.workloads.images import IMAGES, JPEG_QUALITIES, QUALITY_FACTOR
+from repro.workloads.maps import MAPS
+from repro.workloads.thinktime import FixedThinkTime, RandomThinkTime
+from repro.workloads.utterances import UTTERANCES
+from repro.workloads.videos import VIDEO_CLIPS
+
+__all__ = [
+    "ItemWorkloadApp",
+    "WORKLOAD_BUILDER_PATH",
+    "WORKLOAD_SCENARIOS",
+    "build_workload_scenario",
+    "run_workload_goal",
+    "workload_spec",
+]
+
+WORKLOAD_BUILDER_PATH = "repro.snapshot.workload.build_workload_scenario"
+
+DEFAULT_GOAL_SECONDS = 240.0
+DEFAULT_INITIAL_ENERGY_J = 2_000.0
+
+#: The four Section 5 workloads this rig can drive.
+WORKLOAD_SCENARIOS = ("videos", "utterances", "maps", "images")
+
+
+def workload_spec(workload):
+    """Component, fidelity ladder, and item cycle for one workload.
+
+    Returns ``{"component", "idle_w", "levels": [(name, watts)...]
+    highest fidelity first, "items": [(name, active_seconds)...]}``.
+    Durations compress real clip/utterance/transfer scales into a few
+    seconds to tens of seconds per item; wattages follow each
+    workload's per-fidelity byte (or search-space) ratios.
+    """
+    if workload == "videos":
+        return {
+            "component": "decoder",
+            "idle_w": 0.40,
+            "levels": [("baseline", 4.6), ("premiere-b", 3.6),
+                       ("premiere-c", 2.8), ("combined", 1.9)],
+            "items": [(clip.name, clip.duration_s / 10.0)
+                      for clip in VIDEO_CLIPS],
+        }
+    if workload == "utterances":
+        return {
+            "component": "recognizer",
+            "idle_w": 0.30,
+            "levels": [("full", 3.2), ("reduced", 1.9)],
+            "items": [(u.name, u.recognition_seconds("full"))
+                      for u in UTTERANCES],
+        }
+    if workload == "maps":
+        reference = MAPS[2]  # boston: mid-spread filter factors
+        fidelities = ("full", "minor-filter", "secondary-filter",
+                      "crop-secondary")
+        return {
+            "component": "mapper",
+            "idle_w": 0.25,
+            "levels": [
+                (f, 0.8 + 2.9 * reference.bytes_at(f) / reference.full_bytes)
+                for f in fidelities
+            ],
+            "items": [(m.name, m.full_bytes / 400_000.0) for m in MAPS],
+        }
+    if workload == "images":
+        return {
+            "component": "distiller",
+            "idle_w": 0.20,
+            "levels": [(q, 0.7 + 2.7 * QUALITY_FACTOR[q])
+                       for q in reversed(JPEG_QUALITIES)],
+            "items": [(i.name, max(1.0, i.full_bytes / 40_000.0))
+                      for i in IMAGES],
+        }
+    raise KeyError(f"unknown workload scenario {workload!r} "
+                   f"(expected one of {WORKLOAD_SCENARIOS})")
+
+
+class ItemWorkloadApp:
+    """One Section 5 workload as a snapshot-capable state machine.
+
+    Alternates work items and think time: each item raises the app's
+    component to the wattage of the current fidelity level for the
+    item's duration under a per-item machine context, then the think
+    model (itself cursor-resumable) spaces the next item.  Implements
+    the priority-ladder protocol, the snapshot protocol, and — through
+    its :class:`WorkloadCursor` — the resumable-cursor protocol.
+    """
+
+    def __init__(self, sim, machine, name, component, levels, priority,
+                 items, think, offset=0.0):
+        self.sim = sim
+        self.machine = machine
+        self.name = name
+        self.component = component
+        self.levels = [level for level, _watts in levels]
+        self.priority = priority
+        self.item_names = [item for item, _duration in items]
+        self.durations = [duration for _item, duration in items]
+        self.think = think
+        self.offset = offset
+        self.cursor = WorkloadCursor(name, sim=sim, items=self.item_names)
+        self.level_index = 0
+        self._started = False
+        self._active = False
+        self._token = None
+        self._entry = None
+
+    # ------------------------------------------------------------------
+    # priority-ladder protocol
+    # ------------------------------------------------------------------
+    def can_degrade(self):
+        return self.level_index < len(self.levels) - 1
+
+    def can_upgrade(self):
+        return self.level_index > 0
+
+    def degrade(self):
+        if not self.can_degrade():
+            raise ValueError(f"{self.name} already at lowest fidelity")
+        self.level_index += 1
+        self._apply_level()
+        return self.fidelity_level
+
+    def upgrade(self):
+        if not self.can_upgrade():
+            raise ValueError(f"{self.name} already at highest fidelity")
+        self.level_index -= 1
+        self._apply_level()
+        return self.fidelity_level
+
+    def _apply_level(self):
+        if self._active:
+            self.component.set_state(self.fidelity_level)
+
+    @property
+    def fidelity_level(self):
+        return self.levels[self.level_index]
+
+    @property
+    def fidelity_normalized(self):
+        if len(self.levels) == 1:
+            return 1.0
+        return 1.0 - self.level_index / (len(self.levels) - 1)
+
+    # ------------------------------------------------------------------
+    # item state machine
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._started:
+            return
+        self._started = True
+        self._entry = self.sim.schedule(self.offset, self._begin)
+
+    def _begin(self, _time):
+        duration = self.durations[self.cursor.position % len(self.durations)]
+        item = self.cursor.begin()
+        self._active = True
+        self._token = self.machine.push_context(self.name, item)
+        self.component.set_state(self.fidelity_level)
+        self._entry = self.sim.schedule(duration, self._end)
+
+    def _end(self, _time):
+        self.component.set_state("idle")
+        self.machine.pop_context(self._token)
+        self._token = None
+        self._active = False
+        self.cursor.end()
+        self._entry = self.sim.schedule(self.think.next(), self._begin)
+
+    # ------------------------------------------------------------------
+    # snapshot protocol (repro.snapshot)
+    # ------------------------------------------------------------------
+    def __snapshot__(self, ctx):
+        # One pending transition at most: the item end while active,
+        # the next item start while thinking.
+        ctx.claim(self._entry, "end" if self._active else "begin")
+        return {
+            "started": self._started,
+            "active": self._active,
+            "level_index": self.level_index,
+            "token": self._token,
+            "priority": self.priority,
+            "cursor": self.cursor.__cursor__(),
+            "think": self.think.__cursor__(),
+        }
+
+    def __restore__(self, state, ctx):
+        # The component's power state is restored by the machine; the
+        # cursors carry the workload position and the think-model RNG.
+        self._started = bool(state["started"])
+        self._active = bool(state["active"])
+        self.level_index = int(state["level_index"])
+        self._token = state["token"]
+        self.priority = state["priority"]
+        self.cursor.__seek__(state["cursor"])
+        self.think.__seek__(state["think"])
+        for when, seq, kind in ctx.events():
+            callback = {"begin": self._begin, "end": self._end}[kind]
+            self._entry = ctx.push(when, seq, callback)
+
+
+def build_workload_scenario(workload="videos",
+                            goal_seconds=DEFAULT_GOAL_SECONDS,
+                            initial_energy=DEFAULT_INITIAL_ENERGY_J,
+                            decision_period=0.5, halflife_fraction=0.10,
+                            upgrade_min_interval=15.0, sample_period=0.1,
+                            think_seconds=5.0, think_jitter=0.0,
+                            think_seed=0,
+                            tracer=None, metrics=None):
+    """Build one Section 5 workload on the goal stack, never started.
+
+    Mirrors :func:`repro.snapshot.scenario.build_pulse_scenario`:
+    every stateful object registers under a stable key, the simulator
+    carries the builder reference, and ``tracer``/``metrics`` stay out
+    of the recorded params (runtime environment, not identity).
+    ``think_jitter`` > 0 selects the seeded random think-time model —
+    the RNG position rides in the snapshot as a cursor.
+    """
+    params = {
+        "workload": workload,
+        "goal_seconds": goal_seconds,
+        "initial_energy": initial_energy,
+        "decision_period": decision_period,
+        "halflife_fraction": halflife_fraction,
+        "upgrade_min_interval": upgrade_min_interval,
+        "sample_period": sample_period,
+        "think_seconds": think_seconds,
+        "think_jitter": think_jitter,
+        "think_seed": think_seed,
+    }
+    spec = workload_spec(workload)
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    sim = Simulator(tracer=tracer)
+    battery = Battery(initial_energy)
+    machine = Machine(sim, battery, metrics=metrics)
+    machine.attach(PowerComponent("platform", {"on": PLATFORM_WATTS}, "on"))
+
+    component = machine.attach(PowerComponent(
+        spec["component"],
+        dict({"idle": spec["idle_w"]}, **dict(spec["levels"])),
+        "idle",
+    ))
+    if think_jitter > 0.0:
+        think = RandomThinkTime(mean=think_seconds, spread=think_jitter,
+                                seed=think_seed)
+    else:
+        think = FixedThinkTime(think_seconds)
+    app = ItemWorkloadApp(
+        sim, machine, workload, component, spec["levels"], priority=2,
+        items=spec["items"], think=think,
+    )
+
+    monitor = OnlinePowerMonitor(machine, period=sample_period)
+    viceroy = Viceroy(sim, machine=machine, metrics=metrics)
+    viceroy.register_application(app)
+    controller = GoalDirectedController(
+        viceroy, monitor, initial_energy, goal_seconds,
+        halflife_fraction=halflife_fraction,
+        decision_period=decision_period,
+        upgrade_min_interval=upgrade_min_interval,
+    )
+
+    sim.register_snapshottable("machine", machine)
+    sim.register_snapshottable("battery", battery)
+    sim.register_snapshottable("monitor", monitor)
+    sim.register_snapshottable("viceroy", viceroy)
+    sim.register_snapshottable("controller", controller)
+    sim.register_snapshottable(f"app.{workload}", app)
+    sim.snapshot_builder = (WORKLOAD_BUILDER_PATH, params)
+    return PulseScenario(sim, machine, battery, monitor, viceroy,
+                         controller, [app], params)
+
+
+def run_workload_goal(**params):
+    """Build, start, run to the goal, and return the summary dict."""
+    scenario = build_workload_scenario(**params)
+    scenario.start()
+    scenario.run()
+    return scenario.summary()

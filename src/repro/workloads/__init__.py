@@ -1,9 +1,10 @@
 """Workload descriptors for the four adaptive applications."""
 
+from repro.workloads.cursor import WORKLOAD_CATEGORY, CursorError, WorkloadCursor
 from repro.workloads.images import IMAGES, JPEG_QUALITIES, WebImage, image_by_name
 from repro.workloads.maps import MAP_FIDELITIES, MAPS, CityMap, map_by_name
 from repro.workloads.stochastic import BurstySchedule, generate_schedules
-from repro.workloads.trace import SessionTrace, TraceAction, TraceError
+from repro.workloads.trace import SessionTrace, TraceAction, TraceCursor, TraceError
 from repro.workloads.thinktime import (
     DEFAULT_THINK_S,
     THINK_SWEEP_S,
@@ -52,5 +53,9 @@ __all__ = [
     "generate_schedules",
     "SessionTrace",
     "TraceAction",
+    "TraceCursor",
     "TraceError",
+    "WORKLOAD_CATEGORY",
+    "CursorError",
+    "WorkloadCursor",
 ]

@@ -20,12 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.workloads.cursor import WorkloadCursor
 from repro.workloads.images import image_by_name
 from repro.workloads.maps import map_by_name
 from repro.workloads.utterances import utterance_by_name
 from repro.workloads.videos import clip_by_name
 
-__all__ = ["TraceAction", "SessionTrace", "TraceError"]
+__all__ = ["TraceAction", "SessionTrace", "TraceCursor", "TraceError"]
 
 ACTIONS = ("speech", "web", "map", "video", "idle")
 
@@ -131,14 +132,63 @@ class SessionTrace:
         return "\n".join(lines) + "\n"
 
     # ------------------------------------------------------------------
+    def cursor(self):
+        """A fresh :class:`TraceCursor` positioned at the first action."""
+        return TraceCursor(self)
+
     def replay(self, rig):
         """Generator: replay the trace against a rig's applications."""
+        return self.cursor().replay(rig)
+
+
+class TraceCursor:
+    """Resumable position inside a :class:`SessionTrace` replay.
+
+    ``index`` counts fully completed actions; seeking to it and calling
+    :meth:`replay` with the original anchor ``start`` resumes the
+    session exactly where it left off.
+    """
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.index = 0
+
+    # -- resumable-cursor protocol -------------------------------------
+    def __cursor__(self):
+        return {"index": self.index}
+
+    def __seek__(self, state):
+        index = int(state["index"])
+        if not 0 <= index <= len(self.trace.actions):
+            raise TraceError(f"cursor index {index} outside trace")
+        self.index = index
+        return self
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _item_name(action):
+        if action.kind == "idle":
+            return f"idle:{action.duration:g}"
+        return f"{action.kind}:{action.argument}"
+
+    def replay(self, rig, start=None):
+        """Generator: replay the remaining actions against ``rig``.
+
+        ``start`` anchors the trace's time origin; it defaults to the
+        simulator's current time, so a resumed cursor must pass the
+        original anchor to keep later actions on schedule.
+        """
         sim = rig.sim
-        start = sim.now
-        for action in self.actions:
+        if start is None:
+            start = sim.now
+        phases = WorkloadCursor("session", sim=sim)
+        phases.position = self.index
+        while self.index < len(self.trace.actions):
+            action = self.trace.actions[self.index]
             target = start + action.at
             if sim.now < target:
                 yield sim.timeout(target - sim.now)
+            phases.begin(self._item_name(action))
             if action.kind == "speech":
                 utterance = utterance_by_name(action.argument)
                 yield from rig.apps["speech"].recognize(utterance)
@@ -155,3 +205,5 @@ class SessionTrace:
                 )
             elif action.kind == "idle":
                 yield sim.timeout(action.duration)
+            phases.end()
+            self.index = phases.position

@@ -96,6 +96,41 @@ def run_scenario(name):
 
 
 # ----------------------------------------------------------------------
+# Energy-signature goldens: per-phase joule vectors over the spine
+# ----------------------------------------------------------------------
+#: Scenarios with blessed ``*.sig.json`` energy signatures.  The
+#: lookahead scenario is excluded: branch vetting forks machines whose
+#: span streams would need per-branch disentangling first.
+SIGNATURE_SCENARIOS = ("goal-default", "goal-hysteresis-off",
+                       "bursty-supply", "goal-pulse")
+
+
+def signature_path(name):
+    return os.path.join(GOLDEN_DIR, f"{name}.sig.json")
+
+
+def run_scenario_events(name):
+    """Run one scenario and return its raw trace events.
+
+    Signatures need the ``power`` spans for joule folding and the
+    ``workload`` phase instants for segmentation on top of the ``core``
+    spine the plain goldens use.
+    """
+    tracer = Tracer(categories={"core", "power", "workload"})
+    with installed(tracer):
+        SCENARIOS[name]()
+    tracer.flush()
+    return list(tracer.events)
+
+
+def run_scenario_signature(name):
+    """Run one scenario and compute its energy signature."""
+    from repro.obs.signature import compute_signature
+
+    return compute_signature(run_scenario_events(name))
+
+
+# ----------------------------------------------------------------------
 # Campaign golden: task ordering + per-task retry counts
 # ----------------------------------------------------------------------
 #: Filename (without extension) of the campaign outcome golden.
