@@ -18,6 +18,12 @@ Pass ``--signatures`` to (also) re-bless the per-phase energy
 signatures (``tests/goldens/*.sig.json``) — the joule-vector goldens
 ``repro verify-profile`` checks runs against.  Review changed phases
 the same way: each moved joule count is an energy-behaviour change.
+
+Pass ``--matrix`` to (also) re-bless the policy diff matrix golden
+(``tests/goldens/policy-matrix.json``) — the N-way
+``repro sweep --diff-against`` document over the pinned candidate
+grid.  Each changed row is a policy whose energy/divergence profile
+against the baseline moved.
 """
 
 import json
@@ -32,10 +38,13 @@ from repro.obs.diff import diff_spines, read_spine_jsonl, write_spine_jsonl  # n
 from tests.golden_scenarios import (  # noqa: E402
     CAMPAIGN_GOLDEN,
     GOLDEN_DIR,
+    MATRIX_GOLDEN,
     SCENARIOS,
     SIGNATURE_SCENARIOS,
     golden_path,
+    matrix_golden_path,
     run_campaign_scenario,
+    run_matrix_scenario,
     run_scenario,
     run_scenario_signature,
     signature_path,
@@ -59,6 +68,22 @@ def regen_campaign():
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"{CAMPAIGN_GOLDEN}: wrote {path} ({len(record)} tasks)")
+
+
+def regen_matrix():
+    path = matrix_golden_path()
+    matrix = run_matrix_scenario()
+    document = matrix.document()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            if handle.read() == document:
+                print(f"{MATRIX_GOLDEN}: unchanged "
+                      f"({len(matrix.rows)} rows)")
+                return
+        print(f"{MATRIX_GOLDEN}: matrix changed — review the row diff")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"{MATRIX_GOLDEN}: wrote {path} ({len(matrix.rows)} rows)")
 
 
 def regen_signatures(names):
@@ -87,10 +112,17 @@ def regen_signatures(names):
 def main(argv):
     campaign = "--campaign" in argv
     signatures = "--signatures" in argv
-    argv = [a for a in argv if a not in ("--campaign", "--signatures")]
+    matrix = "--matrix" in argv
+    argv = [a for a in argv
+            if a not in ("--campaign", "--signatures", "--matrix")]
     if campaign:
         os.makedirs(GOLDEN_DIR, exist_ok=True)
         regen_campaign()
+        if not argv and not signatures and not matrix:
+            return 0
+    if matrix:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        regen_matrix()
         if not argv and not signatures:
             return 0
     if signatures:

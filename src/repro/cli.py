@@ -337,6 +337,48 @@ def build_parser():
         p.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the metrics snapshot as JSON")
 
+    def add_matrix_flags(p):
+        """The policy-diff-matrix mode shared by sweep and submit."""
+        p.add_argument("--diff-against", default=None, metavar="SPEC",
+                       help="run a policy diff matrix instead of the "
+                            "fidelity sweep: every candidate policy "
+                            "diffs against this baseline policy spec "
+                            "('default', or 'key=value,...' — e.g. "
+                            "'hysteresis=off,lookahead=on')")
+        p.add_argument("--candidate", action="append", default=None,
+                       metavar="SPEC",
+                       help="add a candidate policy spec (repeatable; "
+                            "default: the hysteresis x lookahead grid)")
+        p.add_argument("--vary", action="append", default=None,
+                       metavar="KEY=V1,V2",
+                       help="sweep a policy key over listed values; "
+                            "repeat for a cross product (e.g. "
+                            "--vary hysteresis=on,off "
+                            "--vary horizon=6,12)")
+        p.add_argument("--scenario", default=None, metavar="SPEC",
+                       help="shared scenario params for every variant "
+                            "(e.g. 'goal_seconds=120,"
+                            "initial_energy=1000')")
+        p.add_argument("--matrix-out", default=None, metavar="PATH",
+                       help="write the matrix as canonical JSON — "
+                            "byte-identical across serial, --jobs N, "
+                            "cache-warm, and service-submitted runs")
+        p.add_argument("--fail-on-divergence", action="store_true",
+                       help="exit 1 when any candidate row violates "
+                            "the thresholds below (with none set: any "
+                            "divergence from the baseline at all)")
+        p.add_argument("--max-windows", type=_nonnegative_int,
+                       default=None, metavar="N",
+                       help="allow up to N divergence windows per row")
+        p.add_argument("--max-delta-j", type=float, default=None,
+                       metavar="J",
+                       help="allow up to J joules of absolute energy "
+                            "delta per row")
+        p.add_argument("--max-shape-distance", type=float, default=None,
+                       metavar="D",
+                       help="allow up to D signature shape distance "
+                            "per row")
+
     for fig, label in (
         ("fig06", "Figure 6 — video energy by fidelity"),
         ("fig08", "Figure 8 — speech energy by strategy"),
@@ -550,6 +592,7 @@ def build_parser():
                    help="collect in-worker ring traces and merge them "
                         "into the coordinator trace on per-task tracks "
                         "(needs --trace)")
+    add_matrix_flags(p)
     add_obs_flags(p)
 
     p = sub.add_parser(
@@ -666,6 +709,7 @@ def build_parser():
                         "`repro sweep --results-out`)")
     p.add_argument("--telemetry-out", default=None, metavar="PATH",
                    help="with --wait: write the job telemetry as JSON")
+    add_matrix_flags(p)
 
     p = sub.add_parser("status", help="one job's state and progress")
     p.add_argument("job_id")
@@ -898,9 +942,115 @@ def _cmd_snapshot_sweep(args):
     return code
 
 
+def _matrix_spec(args):
+    """Build the policy-matrix campaign a matrix-mode invocation names."""
+    import itertools
+
+    from repro.fleet.diffmatrix import (
+        DEFAULT_GRID,
+        SCENARIO_KEYS,
+        parse_policy_spec,
+        policy_matrix_campaign,
+    )
+
+    baseline = parse_policy_spec(args.diff_against)
+    scenario = parse_policy_spec(args.scenario or "",
+                                 allowed=SCENARIO_KEYS)
+    candidates = list(args.candidate or ())
+    if args.vary:
+        axes = []
+        for vary in args.vary:
+            key, sep, values = vary.partition("=")
+            if not sep or not values:
+                raise ValueError(f"malformed --vary {vary!r} "
+                                 f"(expected KEY=V1,V2,...)")
+            axes.append([(key.strip(), v.strip())
+                         for v in values.split(",") if v.strip()])
+        for combo in itertools.product(*axes):
+            candidates.append(",".join(f"{k}={v}" for k, v in combo))
+    if not candidates:
+        candidates = list(DEFAULT_GRID)
+    for candidate in candidates:
+        parse_policy_spec(candidate)  # fail fast on a bad spec
+    return policy_matrix_campaign(candidates, baseline=baseline,
+                                  scenario=scenario)
+
+
+def _matrix_finish(spec, values, args):
+    """Fold, render, persist, and gate a completed matrix campaign."""
+    from repro.fleet.diffmatrix import matrix_from_values
+
+    matrix = matrix_from_values(spec, values)
+    if args.matrix_out:
+        import os
+
+        out_dir = os.path.dirname(args.matrix_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.matrix_out, "w", encoding="utf-8") as handle:
+            handle.write(matrix.document())
+        print(f"wrote {args.matrix_out}")
+    print(matrix.render())
+    if args.fail_on_divergence:
+        problems = matrix.violations(
+            max_windows=args.max_windows,
+            max_abs_delta_j=args.max_delta_j,
+            max_shape_distance=args.max_shape_distance,
+        )
+        for problem in problems:
+            print(f"DIVERGENCE: {problem}")
+        if problems:
+            return 1
+    return 0
+
+
+def _cmd_sweep_matrix(args):
+    """``repro sweep --diff-against``: the policy diff matrix."""
+    from repro.fleet import FleetRunner, ProgressPrinter
+
+    try:
+        spec = _matrix_spec(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    printer = ProgressPrinter() if args.progress else None
+    runner = FleetRunner(
+        jobs=args.jobs, timeout_s=args.timeout, retries=args.retries,
+        cache=args.cache_dir, progress=printer,
+        worker_trace=args.worker_trace,
+    )
+    result = runner.run(spec)
+    if printer is not None:
+        printer.close()
+    code = _matrix_finish(spec, result.values, args)
+    print(result.telemetry.render())
+    if args.results_out:
+        from repro.service.jobs import results_document
+
+        with open(args.results_out, "w", encoding="utf-8") as handle:
+            handle.write(results_document(result.spec.name, result.values))
+        print(f"wrote {args.results_out}")
+    if args.telemetry_out:
+        import json
+
+        with open(args.telemetry_out, "w", encoding="utf-8") as handle:
+            json.dump(result.telemetry.snapshot(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.telemetry_out}")
+    for failure in result.failures:
+        print(f"FAILED {failure.task_id} "
+              f"(attempts {failure.attempts}): {failure.error}")
+    if not result.ok:
+        return 1
+    return code
+
+
 def _cmd_sweep(args):
     from repro.fleet import ProgressPrinter, run_sweep
 
+    if args.diff_against is not None:
+        return _cmd_sweep_matrix(args)
     printer = ProgressPrinter() if args.progress else None
     tables, result = run_sweep(
         apps=args.apps,
@@ -1010,6 +1160,10 @@ def _load_spec(args):
 
         with open(args.spec, "r", encoding="utf-8") as handle:
             return CampaignSpec.from_dict(json.load(handle))
+    if getattr(args, "diff_against", None) is not None:
+        # The same campaign `repro sweep --diff-against` runs, so the
+        # folded matrix is byte-comparable with the one-shot path.
+        return _matrix_spec(args)
     # --sweep (the default): the same campaign `repro sweep` runs, so
     # service results are byte-comparable with the one-shot path.
     from repro.fleet.campaigns import sweep_campaign
@@ -1057,7 +1211,11 @@ def _cmd_submit(args):
     from repro.service import ServiceError, ServiceUnavailable
 
     try:
-        spec = _load_spec(args)
+        try:
+            spec = _load_spec(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         client = _service_client(args)
         job_id = client.submit(
             spec, queue=args.queue, priority=args.priority,
@@ -1082,8 +1240,13 @@ def _cmd_submit(args):
     _print_job_outcome(payload)
     _write_result_artifacts(payload, results_out=args.results_out,
                             telemetry_out=args.telemetry_out)
+    matrix_code = 0
+    if args.diff_against is not None:
+        matrix_code = _matrix_finish(spec, payload["values"], args)
     # Like `repro sweep`: any permanently failed task is a nonzero exit.
-    return 0 if payload["state"] == "done" else 1
+    if payload["state"] != "done":
+        return 1
+    return matrix_code
 
 
 def _cmd_status(args):

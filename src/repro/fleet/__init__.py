@@ -18,6 +18,16 @@ from repro.fleet.campaigns import (
     sweep_campaign,
     tables_from_result,
 )
+from repro.fleet.diffmatrix import (
+    DEFAULT_GRID,
+    PolicyMatrix,
+    matrix_from_result,
+    matrix_from_values,
+    parse_policy_spec,
+    policy_label,
+    policy_matrix_campaign,
+    policy_matrix_row,
+)
 from repro.fleet.errors import CampaignError, FleetError, TaskTimeout
 from repro.fleet.execution import CampaignExecution
 from repro.fleet.runner import CampaignResult, FleetRunner, TaskResult
@@ -56,4 +66,12 @@ __all__ = [
     "sweep_campaign",
     "run_sweep",
     "tables_from_result",
+    "DEFAULT_GRID",
+    "PolicyMatrix",
+    "parse_policy_spec",
+    "policy_label",
+    "policy_matrix_campaign",
+    "policy_matrix_row",
+    "matrix_from_values",
+    "matrix_from_result",
 ]

@@ -258,6 +258,10 @@ class Machine:
         tracer = getattr(sim, "tracer", None)
         self._trace = tracer.gate("power") if tracer is not None else None
         self._last_emitted_sid = 0
+        # Branch identity: lookahead evaluators stamp forked machines so
+        # their power/span events disentangle from the trunk's (see
+        # repro.obs.export.power_spans).  None = the trunk.
+        self.branch_id = None
         if self._trace is not None:
             self._trace.add_flush_hook(self.trace_flush)
         self.metrics = metrics if metrics is not None else current_metrics()
@@ -578,16 +582,21 @@ class Machine:
         components = dict(segment.comp_powers)
         if segment.correction:
             components["(superlinear)"] = segment.correction
+        args = {
+            "sid": segment.sid,
+            "watts": segment.power,
+            "joules": segment.power * dur,
+            "process": process,
+            "procedure": procedure,
+            "components": components,
+        }
+        # Stamped only on forks: trunk span payloads (and the goldens
+        # pinned to them) stay byte-identical to the pre-branch format.
+        if self.branch_id is not None:
+            args["branch"] = self.branch_id
         self._trace.complete(
             segment.t0, "power", "span", dur=dur, track="machine",
-            args={
-                "sid": segment.sid,
-                "watts": segment.power,
-                "joules": segment.power * dur,
-                "process": process,
-                "procedure": procedure,
-                "components": components,
-            },
+            args=args,
         )
 
     def power_span_id(self):

@@ -45,7 +45,9 @@ __all__ = [
     "decision_spine",
     "diff_spines",
     "diff_traces",
+    "diff_row",
     "attribute_energy",
+    "attribute_energy_spans",
     "window_energy",
     "write_spine_jsonl",
     "read_spine_jsonl",
@@ -235,6 +237,9 @@ class TraceDiff:
         self.spine_a = spine_a
         self.spine_b = spine_b
         self.windows = windows
+        # Whole-run journal energy per side; filled by attribute_energy.
+        self.total_energy_a = None
+        self.total_energy_b = None
 
     @property
     def identical(self):
@@ -249,6 +254,32 @@ class TraceDiff:
     def divergent_decisions(self):
         return sum(w.decisions for w in self.windows)
 
+    @property
+    def total_energy_delta(self):
+        """Whole-run energy delta (B - A), or None before attribution."""
+        if self.total_energy_a is None or self.total_energy_b is None:
+            return None
+        return self.total_energy_b - self.total_energy_a
+
+    @property
+    def energy_share(self):
+        """Fraction of either run's energy spent inside divergence
+        windows — the larger of the two sides, the same severity measure
+        each window carries individually.  None before attribution,
+        0.0 when the spines are identical."""
+        if self.total_energy_a is None or self.total_energy_b is None:
+            return None
+        windows_a = sum(w.energy_a for w in self.windows
+                        if w.energy_a is not None)
+        windows_b = sum(w.energy_b for w in self.windows
+                        if w.energy_b is not None)
+        return max(
+            windows_a / self.total_energy_a if self.total_energy_a > 0
+            else 0.0,
+            windows_b / self.total_energy_b if self.total_energy_b > 0
+            else 0.0,
+        )
+
     def to_dict(self):
         """Deterministic JSON-shaped summary (no wall-clock values)."""
         record = {
@@ -260,6 +291,11 @@ class TraceDiff:
             "divergent_decisions": self.divergent_decisions,
             "windows": [w.to_dict() for w in self.windows],
         }
+        if self.total_energy_a is not None:
+            record["total_energy_a"] = self.total_energy_a
+            record["total_energy_b"] = self.total_energy_b
+            record["total_energy_delta"] = self.total_energy_delta
+            record["energy_share"] = self.energy_share
         first = self.first_divergence
         if first is not None:
             record["first_divergence"] = {
@@ -313,6 +349,14 @@ class TraceDiff:
         if any(w.energy_delta is not None for w in self.windows):
             lines.append(f"total attributed energy delta (B - A): "
                          f"{total:+.1f} J")
+        if self.total_energy_a is not None:
+            lines.append(
+                f"run energy: A {self.total_energy_a:.1f} J, "
+                f"B {self.total_energy_b:.1f} J "
+                f"(delta {self.total_energy_delta:+.1f} J); "
+                f"{self.energy_share * 100:.1f}% of run energy inside "
+                f"divergence windows"
+            )
         return "\n".join(lines)
 
 
@@ -403,23 +447,22 @@ def window_energy(spans, t0, t1):
     return total
 
 
-def attribute_energy(diff, events_a, events_b):
-    """Fill each window's ``energy_a``/``energy_b``/``energy_delta``.
+def _span_total(spans):
+    return sum((span["watts"] or 0.0) * (span["dur"] or 0.0)
+               for span in spans.values())
 
-    Uses the same ``power/span`` journal segments the
-    :func:`~repro.obs.export.join_power` event↔energy join resolves
-    against, so the delta is exactly the machine-journal energy each
-    side spent across the divergent interval.  Each window also gets
-    ``energy_share`` — the larger of its two sides' fractions of that
-    side's whole-run energy, a severity measure readable at a glance.
-    Returns ``diff``.
+
+def attribute_energy_spans(diff, spans_a, spans_b):
+    """:func:`attribute_energy` against prebuilt span indexes.
+
+    Callers that already hold :func:`~repro.obs.export.power_spans`
+    indexes (the policy-matrix workers diff one baseline against many
+    candidates) skip re-indexing the event streams.  Returns ``diff``.
     """
-    spans_a = power_spans(events_a)
-    spans_b = power_spans(events_b)
-    total_a = sum((span["watts"] or 0.0) * (span["dur"] or 0.0)
-                  for span in spans_a.values())
-    total_b = sum((span["watts"] or 0.0) * (span["dur"] or 0.0)
-                  for span in spans_b.values())
+    total_a = _span_total(spans_a)
+    total_b = _span_total(spans_b)
+    diff.total_energy_a = total_a
+    diff.total_energy_b = total_b
     for window in diff.windows:
         window.energy_a = window_energy(spans_a, window.t0, window.t1)
         window.energy_b = window_energy(spans_b, window.t0, window.t1)
@@ -429,6 +472,58 @@ def attribute_energy(diff, events_a, events_b):
             window.energy_b / total_b if total_b > 0 else 0.0,
         )
     return diff
+
+
+def attribute_energy(diff, events_a, events_b):
+    """Fill each window's ``energy_a``/``energy_b``/``energy_delta``.
+
+    Uses the same ``power/span`` journal segments the
+    :func:`~repro.obs.export.join_power` event↔energy join resolves
+    against, so the delta is exactly the machine-journal energy each
+    side spent across the divergent interval.  Each window also gets
+    ``energy_share`` — the larger of its two sides' fractions of that
+    side's whole-run energy, a severity measure readable at a glance —
+    and the diff itself records both sides' whole-run totals.
+    Returns ``diff``.
+    """
+    return attribute_energy_spans(
+        diff, power_spans(events_a), power_spans(events_b)
+    )
+
+
+def diff_row(spine_a, spans_a, spine_b, spans_b, gap=0):
+    """Diff one (baseline, candidate) pair into a compact row dict.
+
+    The policy-matrix unit: where :func:`diff_traces` returns the full
+    report object (every window, every entry), this returns only the
+    scalar fields a per-policy scorecard row needs.  Inputs are the
+    decision spines plus prebuilt ``power/span`` indexes, so a worker
+    holding one baseline record can diff many candidates against it
+    without re-deriving either side.  Pure function of sim timestamps —
+    rows are byte-deterministic.
+    """
+    diff = diff_spines(spine_a, spine_b, gap=gap)
+    attribute_energy_spans(diff, spans_a, spans_b)
+    first = diff.first_divergence
+    return {
+        "decisions": len(spine_b),
+        "divergent_decisions": diff.divergent_decisions,
+        "windows": len(diff.windows),
+        "first_divergence_did": first.start_did if first else None,
+        "energy_total_j": diff.total_energy_b,
+        "baseline_energy_j": diff.total_energy_a,
+        "energy_delta_j": diff.total_energy_delta,
+        "energy_delta_share": (
+            diff.total_energy_delta / diff.total_energy_a
+            if diff.total_energy_a > 0 else 0.0
+        ),
+        "window_energy_delta_j": sum(
+            w.energy_delta for w in diff.windows
+            if w.energy_delta is not None
+        ),
+        "divergent_energy_share": diff.energy_share,
+        "identical": diff.identical,
+    }
 
 
 def diff_traces(events_a, events_b, label_a="A", label_b="B", gap=0,

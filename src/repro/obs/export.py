@@ -226,12 +226,19 @@ def write_metrics(registry_or_snapshot, path):
 # ----------------------------------------------------------------------
 # the event↔energy join
 # ----------------------------------------------------------------------
-def power_spans(events):
+def power_spans(events, branch=None):
     """Index the machine's journal-span events by segment id.
 
     Returns ``{sid: {"t0", "dur", "watts", "joules", "process",
     "procedure", "components"}}`` built from the ``power/span``
     complete-events the machine emits as journal segments close.
+
+    ``branch`` selects whose spans are indexed: ``None`` (the default)
+    keeps only trunk spans — segments stamped with a ``branch`` id by a
+    lookahead fork's machine are skipped, so a trace that interleaves
+    branch journals with the trunk's still folds to trunk-only energy
+    (and branch sids can never collide into the trunk index).  Pass a
+    branch id to index that branch's spans instead.
     """
     spans = {}
     for event in events:
@@ -239,6 +246,8 @@ def power_spans(events):
         if record.get("cat") != "power" or record.get("name") != "span":
             continue
         args = record.get("args") or {}
+        if args.get("branch") != branch:
+            continue
         sid = args.get("sid")
         if sid is None:
             continue

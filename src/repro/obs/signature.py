@@ -42,6 +42,7 @@ __all__ = [
     "SignatureDiff",
     "compute_signature",
     "diff_signatures",
+    "signature_distance",
     "verify_signature",
     "write_signature",
     "read_signature",
@@ -368,6 +369,32 @@ def diff_signatures(golden, candidate, rel_tolerance=None,
         golden.get("total_joules", sum_a),
         candidate.get("total_joules", sum_b),
     )
+
+
+def signature_distance(signature_a, signature_b):
+    """Symmetric-use comparison of two peer signatures — no blessed side.
+
+    :func:`diff_signatures` frames its inputs as golden-vs-candidate
+    (tolerance bands come from the golden, ``regression`` encodes a
+    verification verdict); policy comparisons have no blessed side —
+    both runs are first-class.  This wraps the same phase alignment and
+    shape metric into a compact scalar record: how differently did two
+    runs *spend*, independent of any band.
+
+    Returns ``{"shape_distance", "behaviour_match", "matched_phases",
+    "unmatched_phases", "total_a", "total_b", "total_delta"}`` — a pure
+    function of the two signature dicts.
+    """
+    diff = diff_signatures(signature_a, signature_b)
+    return {
+        "shape_distance": diff.shape_distance,
+        "behaviour_match": diff.behaviour_match,
+        "matched_phases": len(diff.phases),
+        "unmatched_phases": len(diff.only_a) + len(diff.only_b),
+        "total_a": diff.total_a,
+        "total_b": diff.total_b,
+        "total_delta": diff.total_b - diff.total_a,
+    }
 
 
 def verify_signature(events, golden, rel_tolerance=None,

@@ -26,6 +26,11 @@ Branch runs are invisible to the parent's metrics and decision spine:
 they fork with ``NULL_TRACER`` plus a fresh registry, and the parent
 emits their verdicts on the ``branch`` category/track, which
 :func:`repro.obs.diff.decision_spine` (``core`` only) never reads.
+As belt and braces, every forked machine is stamped with a branch id
+(``did<n>.<action>``) that rides on its ``power/span`` args, so even a
+branch run under a *real* tracer cannot pollute the trunk's energy
+fold — :func:`repro.obs.export.power_spans` indexes trunk spans only
+unless a branch is named explicitly.
 
 Beam search
 -----------
@@ -102,6 +107,10 @@ class WhatIfEvaluator:
             reuse=reuse, lookahead=False, tracer=NULL_TRACER,
             metrics=self._branch_metrics,
         )
+        # Stamp the branch machine so its power/span stream disentangles
+        # from the trunk's if the fork is ever run under a real tracer
+        # (power_spans indexes trunk spans only by default).
+        scenario.machine.branch_id = f"did{did}.{action}"
         if action == DEGRADE:
             scenario.viceroy.degrade_once(decision_id=did)
         elif action == UPGRADE:
@@ -142,6 +151,7 @@ class WhatIfEvaluator:
             reuse=reuse, lookahead=False, tracer=NULL_TRACER,
             metrics=self._branch_metrics,
         )
+        scenario.machine.branch_id = f"did{did}.{action}"
         applied = True
         if action == DEGRADE:
             applied = scenario.viceroy.degrade_once(decision_id=did) is not None

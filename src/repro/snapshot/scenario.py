@@ -278,6 +278,7 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
                          upgrade_min_interval=15.0, sample_period=0.1,
                          lookahead=False, horizon=12.0,
                          beam_width=0, beam_depth=2,
+                         variable_fraction=None, constant_fraction=None,
                          tracer=None, metrics=None):
     """Build the pulse stack, never started, fully registered.
 
@@ -289,6 +290,10 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
     ``beam_width`` >= 1 with ``lookahead`` selects the beam-search
     controller (see :class:`repro.snapshot.lookahead
     .BeamLookaheadController`); 0 keeps the two-branch evaluator.
+
+    ``variable_fraction``/``constant_fraction`` override the trigger's
+    hysteresis margins when given (``0.0``/``0.0`` disables hysteresis
+    — the policy-matrix axis); ``None`` keeps the controller defaults.
     """
     params = {
         "goal_seconds": goal_seconds,
@@ -306,6 +311,16 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
     if beam_width:
         params["beam_width"] = beam_width
         params["beam_depth"] = beam_depth
+    # Same pattern for the hysteresis overrides: recorded (and passed
+    # through) only when explicitly set, so default scenario payloads
+    # and snapshot keys are unchanged.
+    hysteresis = {}
+    if variable_fraction is not None:
+        params["variable_fraction"] = variable_fraction
+        hysteresis["variable_fraction"] = variable_fraction
+    if constant_fraction is not None:
+        params["constant_fraction"] = constant_fraction
+        hysteresis["constant_fraction"] = constant_fraction
     metrics = metrics if metrics is not None else MetricsRegistry()
     sim = Simulator(tracer=tracer)
     battery = Battery(initial_energy)
@@ -340,6 +355,7 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
             upgrade_min_interval=upgrade_min_interval,
             horizon=horizon,
             beam_width=beam_width, beam_depth=beam_depth,
+            **hysteresis,
         )
     elif lookahead:
         from repro.snapshot.lookahead import LookaheadGoalController
@@ -350,6 +366,7 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
             decision_period=decision_period,
             upgrade_min_interval=upgrade_min_interval,
             horizon=horizon,
+            **hysteresis,
         )
     else:
         controller = GoalDirectedController(
@@ -357,6 +374,7 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
             halflife_fraction=halflife_fraction,
             decision_period=decision_period,
             upgrade_min_interval=upgrade_min_interval,
+            **hysteresis,
         )
 
     sim.register_snapshottable("machine", machine)

@@ -99,10 +99,11 @@ def run_scenario(name):
 # Energy-signature goldens: per-phase joule vectors over the spine
 # ----------------------------------------------------------------------
 #: Scenarios with blessed ``*.sig.json`` energy signatures.  The
-#: lookahead scenario is excluded: branch vetting forks machines whose
-#: span streams would need per-branch disentangling first.
+#: lookahead scenario is included: branch vetting forks stamp a
+#: ``branch`` id on their power spans and ``power_spans`` folds the
+#: trunk only, so the signature is clean even when forks trace.
 SIGNATURE_SCENARIOS = ("goal-default", "goal-hysteresis-off",
-                       "bursty-supply", "goal-pulse")
+                       "bursty-supply", "goal-pulse", "goal-lookahead")
 
 
 def signature_path(name):
@@ -128,6 +129,55 @@ def run_scenario_signature(name):
     from repro.obs.signature import compute_signature
 
     return compute_signature(run_scenario_events(name))
+
+
+# ----------------------------------------------------------------------
+# Policy-matrix golden: the N-way diff matrix document
+# ----------------------------------------------------------------------
+#: Filename (without extension) of the policy-matrix golden.
+MATRIX_GOLDEN = "policy-matrix"
+#: Pinned at a short mid-bracket sizing so the sweep stays fast while
+#: every candidate still both adapts and diverges from the baseline.
+MATRIX_GOAL_SECONDS = 120.0
+MATRIX_ENERGY_J = 1000.0
+#: Hysteresis on/off crossed with two lookahead horizons: four
+#: candidates whose spines all differ from the default baseline.
+MATRIX_CANDIDATES = (
+    "hysteresis=off",
+    "lookahead=on,horizon=6",
+    "lookahead=on,horizon=12",
+    "hysteresis=off,lookahead=on,horizon=6",
+)
+MATRIX_SCENARIO = {
+    "goal_seconds": MATRIX_GOAL_SECONDS,
+    "initial_energy": MATRIX_ENERGY_J,
+}
+
+
+def matrix_golden_path():
+    return os.path.join(GOLDEN_DIR, f"{MATRIX_GOLDEN}.json")
+
+
+def matrix_campaign_spec():
+    """The pinned policy-matrix campaign the golden is blessed from."""
+    from repro.fleet.diffmatrix import policy_matrix_campaign
+
+    return policy_matrix_campaign(MATRIX_CANDIDATES, baseline={},
+                                  scenario=dict(MATRIX_SCENARIO),
+                                  name=MATRIX_GOLDEN)
+
+
+def run_matrix_scenario(jobs=1, cache=None):
+    """Run the pinned matrix campaign; return the ``PolicyMatrix``.
+
+    ``jobs``/``cache`` let the golden test assert the document is
+    byte-identical across serial, parallel, and cache-warm drivers.
+    """
+    from repro.fleet.diffmatrix import matrix_from_result
+    from repro.fleet.runner import FleetRunner
+
+    runner = FleetRunner(jobs=jobs, cache=cache)
+    return matrix_from_result(runner.run(matrix_campaign_spec()))
 
 
 # ----------------------------------------------------------------------

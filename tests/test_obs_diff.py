@@ -255,6 +255,50 @@ class TestSerialization:
         text = diff_spines(a, b).render(max_windows=3)
         assert "more window(s)" in text
 
+    def test_energy_share_surfaced_in_json_schema(self):
+        """``repro diff --json`` dumps ``to_dict()``; the run-level
+        energy attribution must be in it.  Schema-locked: these exact
+        keys, these exact semantics — a rename breaks consumers."""
+        watts_a, watts_b = [5.0, 5.0, 5.0], [5.0, 7.0, 7.0]
+        events_a = TestEnergyAttribution._power_trace(None, watts_a)
+        events_b = TestEnergyAttribution._power_trace(None, watts_b)
+        tr_a = Tracer(clock=_clock)
+        tr_b = Tracer(clock=_clock)
+        for did, (act_a, act_b) in enumerate(
+                [("hold", "hold"), ("hold", "upgrade"), ("hold", "hold")],
+                start=1):
+            _trace_decision(tr_a, did, act_a)
+            _trace_decision(tr_b, did, act_b)
+        events_a += [e.to_dict() for e in tr_a.events]
+        events_b += [e.to_dict() for e in tr_b.events]
+        payload = diff_traces(events_a, events_b).to_dict()
+        assert payload["total_energy_a"] == pytest.approx(sum(watts_a))
+        assert payload["total_energy_b"] == pytest.approx(sum(watts_b))
+        assert payload["total_energy_delta"] == pytest.approx(4.0)
+        # Divergent window [1.0, 1.5): B spends 3.5 J of its 19 J run.
+        assert payload["energy_share"] == pytest.approx(3.5 / 19.0)
+        # Stable on a round-trip through JSON bytes.
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unattributed_diff_omits_energy_keys(self):
+        """Without energy attribution the run-level keys stay absent —
+        consumers distinguish "no data" from "zero joules"."""
+        a = _spine(["hold", "degrade"])
+        b = _spine(["hold", "upgrade"])
+        payload = diff_spines(a, b).to_dict()
+        for key in ("total_energy_a", "total_energy_b",
+                    "total_energy_delta", "energy_share"):
+            assert key not in payload
+
+    def test_identical_attributed_diff_has_zero_share(self):
+        events = TestEnergyAttribution._power_trace(None, [5.0, 5.0])
+        tr = Tracer(clock=_clock)
+        _trace_decision(tr, 1, "hold")
+        events += [e.to_dict() for e in tr.events]
+        payload = diff_traces(list(events), list(events)).to_dict()
+        assert payload["total_energy_delta"] == 0.0
+        assert payload["energy_share"] == 0.0
+
     def test_spine_jsonl_round_trip(self, tmp_path):
         spine = [
             SpineEntry(1, 0.5, "hold"),
