@@ -2,84 +2,40 @@
 
 Run after changing cost-model or hardware constants:
 
-    python scripts/calibrate.py
+    python scripts/calibrate.py [--json PATH]
+
+Exits nonzero when any band misses its paper range, so CI can gate on
+it.  The band definitions live in ``repro.experiments.calibration``
+(shared with ``python -m repro calibrate``).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
-from repro.experiments.fidelity_study import (
-    map_energy_table,
-    speech_energy_table,
-    video_energy_table,
-    web_energy_table,
+from repro.experiments.calibration import (
+    calibration_report,
+    render_report,
+    report_ok,
 )
 
 
-def band(label, values, lo, hi, vs="hw-only"):
-    measured_lo, measured_hi = min(values), max(values)
-    flag = "OK " if (measured_hi >= lo and measured_lo <= hi) else "MISS"
-    print(
-        f"  [{flag}] {label:<28} vs {vs:<8} "
-        f"measured {measured_lo * 100:5.1f}-{measured_hi * 100:5.1f}%   "
-        f"paper {lo * 100:.0f}-{hi * 100:.0f}%"
-    )
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the structured report as JSON")
+    args = parser.parse_args(argv)
 
-
-def savings(table, config, reference):
-    ref = table[reference]
-    cfg = table[config]
-    return [1.0 - cfg[obj] / ref[obj] for obj in ref]
-
-
-def main():
-    print("video (Figure 6)")
-    video = video_energy_table()
-    base = video["baseline"]
-    print("   baseline energies:",
-          {k: round(v) for k, v in base.items()})
-    band("hw-only", savings(video, "hw-only", "baseline"), 0.09, 0.10, "baseline")
-    band("premiere-c", savings(video, "premiere-c", "hw-only"), 0.16, 0.17)
-    band("reduced-window", savings(video, "reduced-window", "hw-only"), 0.19, 0.20)
-    band("combined", savings(video, "combined", "hw-only"), 0.28, 0.30)
-    band("combined vs baseline", savings(video, "combined", "baseline"),
-         0.34, 0.36, "baseline")
-
-    print("speech (Figure 8)")
-    speech = speech_energy_table()
-    print("   baseline energies:",
-          {k: round(v) for k, v in speech["baseline"].items()})
-    band("hw-only", savings(speech, "hw-only", "baseline"), 0.33, 0.34, "baseline")
-    band("reduced", savings(speech, "reduced", "hw-only"), 0.25, 0.46)
-    band("remote", savings(speech, "remote", "hw-only"), 0.33, 0.44)
-    band("hybrid", savings(speech, "hybrid", "hw-only"), 0.47, 0.55)
-    band("remote-reduced", savings(speech, "remote-reduced", "hw-only"), 0.42, 0.65)
-    band("hybrid-reduced", savings(speech, "hybrid-reduced", "hw-only"), 0.53, 0.70)
-    band("hybrid-red vs baseline", savings(speech, "hybrid-reduced", "baseline"),
-         0.69, 0.80, "baseline")
-
-    print("map (Figure 10)")
-    mp = map_energy_table()
-    print("   baseline energies:",
-          {k: round(v) for k, v in mp["baseline"].items()})
-    band("hw-only", savings(mp, "hw-only", "baseline"), 0.09, 0.19, "baseline")
-    band("minor-filter", savings(mp, "minor-filter", "hw-only"), 0.06, 0.51)
-    band("secondary-filter", savings(mp, "secondary-filter", "hw-only"), 0.23, 0.55)
-    band("cropped", savings(mp, "cropped", "hw-only"), 0.14, 0.49)
-    band("crop-secondary", savings(mp, "crop-secondary", "hw-only"), 0.36, 0.66)
-    band("lowest vs baseline", savings(mp, "crop-secondary", "baseline"),
-         0.46, 0.70, "baseline")
-
-    print("web (Figure 13)")
-    web = web_energy_table()
-    print("   baseline energies:",
-          {k: round(v) for k, v in web["baseline"].items()})
-    band("hw-only", savings(web, "hw-only", "baseline"), 0.22, 0.26, "baseline")
-    band("jpeg-5", savings(web, "jpeg-5", "hw-only"), 0.04, 0.14)
-    band("jpeg-5 vs baseline", savings(web, "jpeg-5", "baseline"),
-         0.29, 0.34, "baseline")
-    return 0
+    report = calibration_report()
+    print(render_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report_ok(report) else 1
 
 
 if __name__ == "__main__":

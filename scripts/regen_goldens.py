@@ -24,6 +24,11 @@ Pass ``--matrix`` to (also) re-bless the policy diff matrix golden
 ``repro sweep --diff-against`` document over the pinned candidate
 grid.  Each changed row is a policy whose energy/divergence profile
 against the baseline moved.
+
+Pass ``--fleet-matrix`` to (also) re-bless the fleet robustness matrix
+golden (``tests/goldens/fleet-matrix.json``) — the per-device x
+per-policy document over the pinned generated fleet
+(``repro sweep --fleet-size 4 --fleet-seed 7 --diff-against default``).
 """
 
 import json
@@ -37,13 +42,16 @@ sys.path.insert(0, REPO_ROOT)
 from repro.obs.diff import diff_spines, read_spine_jsonl, write_spine_jsonl  # noqa: E402
 from tests.golden_scenarios import (  # noqa: E402
     CAMPAIGN_GOLDEN,
+    FLEET_MATRIX_GOLDEN,
     GOLDEN_DIR,
     MATRIX_GOLDEN,
     SCENARIOS,
     SIGNATURE_SCENARIOS,
     golden_path,
+    fleet_matrix_golden_path,
     matrix_golden_path,
     run_campaign_scenario,
+    run_fleet_matrix_scenario,
     run_matrix_scenario,
     run_scenario,
     run_scenario_signature,
@@ -86,6 +94,24 @@ def regen_matrix():
     print(f"{MATRIX_GOLDEN}: wrote {path} ({len(matrix.rows)} rows)")
 
 
+def regen_fleet_matrix():
+    path = fleet_matrix_golden_path()
+    matrix = run_fleet_matrix_scenario()
+    document = matrix.document()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            if handle.read() == document:
+                print(f"{FLEET_MATRIX_GOLDEN}: unchanged "
+                      f"({len(matrix.rows)} rows, "
+                      f"{len(matrix.devices)} devices)")
+                return
+        print(f"{FLEET_MATRIX_GOLDEN}: matrix changed — review the row diff")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"{FLEET_MATRIX_GOLDEN}: wrote {path} ({len(matrix.rows)} rows, "
+          f"{len(matrix.devices)} devices)")
+
+
 def regen_signatures(names):
     from repro.obs.signature import diff_signatures, read_signature, \
         write_signature
@@ -113,16 +139,24 @@ def main(argv):
     campaign = "--campaign" in argv
     signatures = "--signatures" in argv
     matrix = "--matrix" in argv
+    fleet_matrix = "--fleet-matrix" in argv
     argv = [a for a in argv
-            if a not in ("--campaign", "--signatures", "--matrix")]
+            if a not in ("--campaign", "--signatures", "--matrix",
+                         "--fleet-matrix")]
     if campaign:
         os.makedirs(GOLDEN_DIR, exist_ok=True)
         regen_campaign()
-        if not argv and not signatures and not matrix:
+        if not argv and not signatures and not matrix \
+                and not fleet_matrix:
             return 0
     if matrix:
         os.makedirs(GOLDEN_DIR, exist_ok=True)
         regen_matrix()
+        if not argv and not signatures and not fleet_matrix:
+            return 0
+    if fleet_matrix:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        regen_fleet_matrix()
         if not argv and not signatures:
             return 0
     if signatures:

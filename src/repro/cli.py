@@ -116,6 +116,26 @@ def _cmd_goal(args):
     return 0 if result.goal_met else 1
 
 
+def _cmd_calibrate(args):
+    """Check headline percentages against the paper's bands."""
+    from repro.experiments.calibration import (
+        calibration_report,
+        render_report,
+        report_ok,
+    )
+
+    report = calibration_report()
+    print(render_report(report))
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report_ok(report) else 1
+
+
 def _cmd_profile(args):
     from repro.experiments import build_rig
     from repro.powerscope import profile_run, render_profile
@@ -157,8 +177,10 @@ def _cmd_trace(args):
     )
     with installed(tracer):
         beam = getattr(args, "beam", None)
+        learned = getattr(args, "learned_model", False)
+        drift = getattr(args, "drift", None)
         if args.experiment == "goal" and (args.pulse or args.lookahead
-                                          or beam):
+                                          or beam or learned or drift):
             from repro.snapshot.scenario import run_pulse_goal
 
             pulse_kwargs = {"lookahead": args.lookahead or bool(beam),
@@ -170,9 +192,37 @@ def _cmd_trace(args):
                 pulse_kwargs["goal_seconds"] = args.goal
             if args.energy is not None:
                 pulse_kwargs["initial_energy"] = args.energy
+            if learned:
+                pulse_kwargs["learned_model"] = True
+            if drift is not None:
+                pulse_kwargs["drift"] = drift
+            if args.device_file is not None:
+                from repro.devices import load_fleet
+
+                fleet = load_fleet(args.device_file)
+                if args.device_id is not None:
+                    matches = [d for d in fleet
+                               if d.device_id == args.device_id]
+                    if not matches:
+                        print(f"error: no device {args.device_id!r} in "
+                              f"{args.device_file}", file=sys.stderr)
+                        return 2
+                    pulse_kwargs["device"] = matches[0]
+                else:
+                    pulse_kwargs["device"] = fleet[0]
             summary = run_pulse_goal(**pulse_kwargs)
             print(f"pulse goal: {'MET' if summary['goal_met'] else 'MISSED'} "
                   f"(residual {summary['battery_residual_j']:.0f} J)")
+            calibration = summary.get("calibration")
+            if calibration is not None:
+                multipliers = ", ".join(
+                    f"{name}={value:.3f}"
+                    for name, value in calibration["multipliers"].items()
+                )
+                print(f"calibration: {calibration['fits']} fits over "
+                      f"{calibration['readings']} readings, residual "
+                      f"{calibration['last_residual_w']:+.3f} W "
+                      f"({multipliers})")
             if pulse_kwargs["lookahead"]:
                 look = summary["lookahead"]
                 print(f"lookahead: {look['evaluations']} evaluations, "
@@ -359,6 +409,19 @@ def build_parser():
                        help="shared scenario params for every variant "
                             "(e.g. 'goal_seconds=120,"
                             "initial_energy=1000')")
+        p.add_argument("--devices", default=None, metavar="PATH",
+                       help="fan the matrix across a device fleet read "
+                            "from a calibration file (see "
+                            "repro.devices.write_fleet); one row per "
+                            "(device, policy) pair")
+        p.add_argument("--fleet-size", type=_positive_int, default=None,
+                       metavar="N",
+                       help="fan the matrix across N generated devices "
+                            "(byte-stable per --fleet-seed) instead of "
+                            "a fleet file")
+        p.add_argument("--fleet-seed", type=int, default=0, metavar="S",
+                       help="seed for --fleet-size device generation "
+                            "(default 0)")
         p.add_argument("--matrix-out", default=None, metavar="PATH",
                        help="write the matrix as canonical JSON — "
                             "byte-identical across serial, --jobs N, "
@@ -427,7 +490,7 @@ def build_parser():
                    help="ring-buffer capacity (default: unbounded)")
     p.add_argument("--categories", nargs="*", default=None,
                    choices=("sim", "power", "core", "powerscope", "fleet",
-                            "branch", "service", "workload"),
+                            "branch", "service", "workload", "calibration"),
                    help="restrict tracing to these categories")
     p.add_argument("--goal", type=float, default=None,
                    help="goal seconds (goal/bursty; default 400, "
@@ -458,10 +521,32 @@ def build_parser():
     p.add_argument("--no-hysteresis", action="store_true",
                    help="zero the upgrade hysteresis margins (goal); "
                         "pair with a default run for `repro diff`")
+    p.add_argument("--learned-model", action="store_true",
+                   help="feed the controller a Sesame-style learned "
+                        "power model (SmartBattery gauge + online "
+                        "calibrator) instead of ground truth (implies "
+                        "--pulse; goal only); calibration events land "
+                        "on the 'calibration' category")
+    p.add_argument("--drift", default=None, metavar="AT:FACTOR",
+                   help="scale real component wattages by FACTOR at "
+                        "sim time AT (e.g. 60:1.25; implies --pulse)")
+    p.add_argument("--device-file", default=None, metavar="PATH",
+                   help="run on the first device of this fleet file "
+                        "(or DEVICE_ID with --device-id)")
+    p.add_argument("--device-id", default=None, metavar="ID",
+                   help="pick a device from --device-file by id")
     p.add_argument("--stream", action="store_true",
                    help="stream events to PREFIX.jsonl as they are "
                         "emitted (safe to combine with --ring: the "
                         "file keeps the prefix the ring drops)")
+
+    p = sub.add_parser(
+        "calibrate",
+        help="check headline savings percentages against the paper's "
+             "published bands; exits nonzero on any MISS",
+    )
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the structured report as JSON")
 
     p = sub.add_parser(
         "diff",
@@ -972,15 +1057,36 @@ def _matrix_spec(args):
         candidates = list(DEFAULT_GRID)
     for candidate in candidates:
         parse_policy_spec(candidate)  # fail fast on a bad spec
+    devices_path = getattr(args, "devices", None)
+    fleet_size = getattr(args, "fleet_size", None)
+    if devices_path or fleet_size:
+        from repro.devices import (fleet_matrix_campaign, generate_fleet,
+                                   load_fleet)
+
+        if devices_path and fleet_size:
+            raise ValueError("--devices and --fleet-size are exclusive")
+        if devices_path:
+            fleet = load_fleet(devices_path)
+        else:
+            fleet = generate_fleet(fleet_size,
+                                   getattr(args, "fleet_seed", 0))
+        return fleet_matrix_campaign(fleet, candidates, baseline=baseline,
+                                     scenario=scenario)
     return policy_matrix_campaign(candidates, baseline=baseline,
                                   scenario=scenario)
 
 
 def _matrix_finish(spec, values, args):
     """Fold, render, persist, and gate a completed matrix campaign."""
+    from repro.devices.fleetmatrix import FLEET_TASK_FN, fleet_from_values
     from repro.fleet.diffmatrix import matrix_from_values
 
-    matrix = matrix_from_values(spec, values)
+    # The spec's task fn says which matrix this is; both folds share
+    # the document/render/violations surface.
+    if spec.tasks and spec.tasks[0].fn == FLEET_TASK_FN:
+        matrix = fleet_from_values(spec, values)
+    else:
+        matrix = matrix_from_values(spec, values)
     if args.matrix_out:
         import os
 
@@ -1385,6 +1491,8 @@ def _dispatch(args):
         return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
     if args.command == "diff":
         return _cmd_diff(args)
     if args.command == "verify-profile":

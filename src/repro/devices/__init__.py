@@ -1,0 +1,58 @@
+"""repro.devices: per-device power-model variation and self-calibration.
+
+Three layers (see ``docs/architecture.md``, "Device fleets &
+self-calibration"):
+
+- :mod:`repro.devices.profile` — :class:`DeviceProfile` descriptors
+  and byte-stable generated fleets (``sha256(fleet_seed, device_id)``).
+- :mod:`repro.devices.calibrate` — Sesame-style
+  :class:`OnlineCalibrator` recovering per-component power models from
+  coarse SmartBattery readings, with injectable mid-run drift.
+- :mod:`repro.devices.fleetmatrix` — per-device × per-policy
+  robustness campaigns over the fleet/service substrate
+  (``repro sweep --fleet-size N --diff-against ...``).
+"""
+
+from repro.devices.calibrate import (
+    CalibratedPowerFeed,
+    LearnedPowerModel,
+    OnlineCalibrator,
+    parse_drift,
+    schedule_drift,
+)
+from repro.devices.fleetmatrix import (
+    FLEET_TASK_FN,
+    FleetMatrix,
+    fleet_from_result,
+    fleet_from_values,
+    fleet_matrix_campaign,
+    fleet_matrix_row,
+)
+from repro.devices.profile import (
+    DEFAULT_COMPONENTS,
+    DeviceProfile,
+    generate_device,
+    generate_fleet,
+    load_fleet,
+    write_fleet,
+)
+
+__all__ = [
+    "CalibratedPowerFeed",
+    "DEFAULT_COMPONENTS",
+    "DeviceProfile",
+    "FLEET_TASK_FN",
+    "FleetMatrix",
+    "LearnedPowerModel",
+    "OnlineCalibrator",
+    "fleet_from_result",
+    "fleet_from_values",
+    "fleet_matrix_campaign",
+    "fleet_matrix_row",
+    "generate_device",
+    "generate_fleet",
+    "load_fleet",
+    "parse_drift",
+    "schedule_drift",
+    "write_fleet",
+]

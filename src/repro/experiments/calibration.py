@@ -1,0 +1,160 @@
+"""Headline-percentage calibration bands vs the paper's figures.
+
+The band definitions used to live inline in ``scripts/calibrate.py``;
+they now live here so the script and the ``repro calibrate``
+subcommand share one implementation, report structured results
+(``--json``), and exit nonzero when any band misses — which is what
+lets CI run the check at all.
+
+Each band pins one of the paper's headline savings percentages (e.g.
+"combined video adaptation saves 28-30% over hardware-only") against
+the reproduced fidelity tables.  A band is OK when the measured
+min..max range overlaps the paper's published range.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "calibration_report",
+    "render_report",
+    "report_ok",
+]
+
+
+def savings(table, config, reference):
+    """Per-objective fractional savings of ``config`` vs ``reference``."""
+    ref = table[reference]
+    cfg = table[config]
+    return [1.0 - cfg[obj] / ref[obj] for obj in ref]
+
+
+def _band(label, values, lo, hi, vs="hw-only"):
+    measured_lo, measured_hi = min(values), max(values)
+    return {
+        "label": label,
+        "vs": vs,
+        "measured_lo": measured_lo,
+        "measured_hi": measured_hi,
+        "paper_lo": lo,
+        "paper_hi": hi,
+        "ok": measured_hi >= lo and measured_lo <= hi,
+    }
+
+
+def calibration_report():
+    """Compute every figure's bands; returns a JSON-shaped report."""
+    from repro.experiments.fidelity_study import (
+        map_energy_table,
+        speech_energy_table,
+        video_energy_table,
+        web_energy_table,
+    )
+
+    figures = []
+
+    video = video_energy_table()
+    figures.append({
+        "name": "video",
+        "figure": "Figure 6",
+        "baseline": {k: round(v) for k, v in video["baseline"].items()},
+        "bands": [
+            _band("hw-only", savings(video, "hw-only", "baseline"),
+                  0.09, 0.10, "baseline"),
+            _band("premiere-c", savings(video, "premiere-c", "hw-only"),
+                  0.16, 0.17),
+            _band("reduced-window",
+                  savings(video, "reduced-window", "hw-only"), 0.19, 0.20),
+            _band("combined", savings(video, "combined", "hw-only"),
+                  0.28, 0.30),
+            _band("combined vs baseline",
+                  savings(video, "combined", "baseline"),
+                  0.34, 0.36, "baseline"),
+        ],
+    })
+
+    speech = speech_energy_table()
+    figures.append({
+        "name": "speech",
+        "figure": "Figure 8",
+        "baseline": {k: round(v) for k, v in speech["baseline"].items()},
+        "bands": [
+            _band("hw-only", savings(speech, "hw-only", "baseline"),
+                  0.33, 0.34, "baseline"),
+            _band("reduced", savings(speech, "reduced", "hw-only"),
+                  0.25, 0.46),
+            _band("remote", savings(speech, "remote", "hw-only"),
+                  0.33, 0.44),
+            _band("hybrid", savings(speech, "hybrid", "hw-only"),
+                  0.47, 0.55),
+            _band("remote-reduced",
+                  savings(speech, "remote-reduced", "hw-only"), 0.42, 0.65),
+            _band("hybrid-reduced",
+                  savings(speech, "hybrid-reduced", "hw-only"), 0.53, 0.70),
+            _band("hybrid-red vs baseline",
+                  savings(speech, "hybrid-reduced", "baseline"),
+                  0.69, 0.80, "baseline"),
+        ],
+    })
+
+    mp = map_energy_table()
+    figures.append({
+        "name": "map",
+        "figure": "Figure 10",
+        "baseline": {k: round(v) for k, v in mp["baseline"].items()},
+        "bands": [
+            _band("hw-only", savings(mp, "hw-only", "baseline"),
+                  0.09, 0.19, "baseline"),
+            _band("minor-filter", savings(mp, "minor-filter", "hw-only"),
+                  0.06, 0.51),
+            _band("secondary-filter",
+                  savings(mp, "secondary-filter", "hw-only"), 0.23, 0.55),
+            _band("cropped", savings(mp, "cropped", "hw-only"), 0.14, 0.49),
+            _band("crop-secondary",
+                  savings(mp, "crop-secondary", "hw-only"), 0.36, 0.66),
+            _band("lowest vs baseline",
+                  savings(mp, "crop-secondary", "baseline"),
+                  0.46, 0.70, "baseline"),
+        ],
+    })
+
+    web = web_energy_table()
+    figures.append({
+        "name": "web",
+        "figure": "Figure 13",
+        "baseline": {k: round(v) for k, v in web["baseline"].items()},
+        "bands": [
+            _band("hw-only", savings(web, "hw-only", "baseline"),
+                  0.22, 0.26, "baseline"),
+            _band("jpeg-5", savings(web, "jpeg-5", "hw-only"), 0.04, 0.14),
+            _band("jpeg-5 vs baseline", savings(web, "jpeg-5", "baseline"),
+                  0.29, 0.34, "baseline"),
+        ],
+    })
+
+    return {
+        "figures": figures,
+        "ok": all(band["ok"] for figure in figures
+                  for band in figure["bands"]),
+    }
+
+
+def report_ok(report):
+    return bool(report["ok"])
+
+
+def render_report(report):
+    """The classic scripts/calibrate.py output, line for line."""
+    lines = []
+    for figure in report["figures"]:
+        lines.append(f"{figure['name']} ({figure['figure']})")
+        lines.append(f"   baseline energies: {figure['baseline']}")
+        for band in figure["bands"]:
+            flag = "OK " if band["ok"] else "MISS"
+            lines.append(
+                f"  [{flag}] {band['label']:<28} vs {band['vs']:<8} "
+                f"measured {band['measured_lo'] * 100:5.1f}-"
+                f"{band['measured_hi'] * 100:5.1f}%   "
+                f"paper {band['paper_lo'] * 100:.0f}-"
+                f"{band['paper_hi'] * 100:.0f}%"
+            )
+    return "\n".join(lines)

@@ -196,12 +196,17 @@ class Machine:
     AUTO_FOLD_SEGMENTS = 4096
 
     def __init__(self, sim, supply, voltage=16.0, correction=None,
-                 timeline=None, scheduler=None, metrics=None):
+                 timeline=None, scheduler=None, metrics=None, profile=None):
         self.sim = sim
         self.supply = supply
         self.voltage = voltage
         self.correction = correction or (lambda machine: 0.0)
         self.timeline = timeline
+        # Optional repro.devices.DeviceProfile: scales the wattage table
+        # of every subsequently attached component.  Construction-time
+        # identity (like `correction`), not snapshotted state — forks
+        # rebuild it from the builder params.
+        self.profile = profile
         self.components = {}
         self.cpu_resource = Resource(sim, capacity=1, name="cpu")
         # One disk head: concurrent accesses serialize (thrashing is
@@ -289,6 +294,13 @@ class Machine:
         if component.name in self.components:
             raise HardwareError(f"duplicate component {component.name!r}")
         self.advance()
+        if self.profile is not None:
+            factor = self.profile.multiplier(component.name)
+            if factor != 1.0:
+                component.states = {
+                    state: watts * factor
+                    for state, watts in component.states.items()
+                }
         self.components[component.name] = component
         component._pre_change = self.power_will_change
         self._power_dirty = True

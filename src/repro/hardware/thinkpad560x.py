@@ -98,7 +98,8 @@ def superlinear_correction(machine):
     return 0.11 + extra
 
 
-def build_machine(sim, supply=None, timeline=None, zoned=None, scheduler=None):
+def build_machine(sim, supply=None, timeline=None, zoned=None, scheduler=None,
+                  profile=None):
     """Assemble a calibrated ThinkPad 560X model.
 
     Parameters
@@ -117,6 +118,10 @@ def build_machine(sim, supply=None, timeline=None, zoned=None, scheduler=None):
     scheduler:
         Optional :class:`~repro.sim.scheduler.QuantumScheduler` for
         round-robin CPU time-slicing (FIFO whole-burst by default).
+    profile:
+        Optional :class:`~repro.devices.DeviceProfile`; scales each
+        component's wattage table as it is attached (the default
+        ``None`` reproduces the calibrated Figure-4 machine exactly).
     """
     machine = Machine(
         sim,
@@ -125,6 +130,7 @@ def build_machine(sim, supply=None, timeline=None, zoned=None, scheduler=None):
         correction=superlinear_correction,
         timeline=timeline,
         scheduler=scheduler,
+        profile=profile,
     )
     machine.attach(PowerComponent("base", {"on": BASE_W}, "on"))
     machine.attach(Cpu(CPU_BUSY_EXTRA_W, poll_extra_watts=CPU_POLL_EXTRA_W))

@@ -426,6 +426,90 @@ def bench_fork_lookahead(quick, repeats):
     }
 
 
+def bench_calibrator_fit(quick, repeats):
+    """One learned-model goal run on a miscalibrated device.
+
+    Times the whole gauge → fold → sliding-window refit stack: at a
+    0.5 s gauge period the calibrator refits twice a second, so the
+    run's cost is dominated by the normal-equation solves.  Also
+    reports the fit quality so a perf "win" that breaks convergence is
+    visible in the detail column.
+    """
+    from repro.devices import DeviceProfile
+    from repro.snapshot.scenario import build_pulse_scenario
+
+    goal, energy = (120.0, 1_400.0) if quick else (300.0, 3_500.0)
+    true_multipliers = {"platform": 1.15, "codec": 0.85, "radio": 1.2}
+    device = DeviceProfile("bench-rig", multipliers=true_multipliers,
+                           gauge_period=0.5, gauge_resolution_w=0.01)
+
+    def run():
+        scenario = build_pulse_scenario(
+            goal_seconds=goal, initial_energy=energy,
+            learned_model=True, device=device)
+        scenario.start()
+        scenario.run()
+        return scenario.calibrator
+
+    seconds, calibrator = _best_of(run, repeats)
+    errors = calibrator.model.error_vs(true_multipliers)
+    return {
+        "seconds": seconds,
+        "readings": calibrator.readings,
+        "fits": calibrator.fits,
+        "fits_per_s": calibrator.fits / seconds if seconds else 0.0,
+        "max_error": max(errors.values()),
+    }
+
+
+def bench_fleet_matrix_fold(quick, repeats):
+    """Fold + canonical-serialize a large synthetic fleet matrix.
+
+    The fold is the serial tail of every fleet sweep (workers return
+    rows; one process folds and byte-stabilizes the document), so its
+    cost bounds how large a fleet the sweep scales to.  Rows are
+    synthetic and deterministic — this isolates the fold from the
+    simulations that produce real rows.
+    """
+    from repro.devices import DeviceProfile
+    from repro.devices.fleetmatrix import FleetMatrix
+
+    n_devices = 100 if quick else 400
+    policies = ("baseline", "hysteresis=off", "lookahead=on",
+                "hysteresis=off,lookahead=on")
+    devices = [DeviceProfile(f"dev{k:03d}").to_dict()
+               for k in range(n_devices)]
+    rows = []
+    for k, device in enumerate(devices):
+        for p, policy in enumerate(policies):
+            diverged = policy != "baseline" and (k + p) % 3 == 0
+            rows.append({
+                "policy": policy,
+                "device": device["device_id"],
+                "identical": not diverged,
+                "windows": (k + p) % 5 if diverged else 0,
+                "energy_delta_j": ((k * 7 + p * 13) % 100 - 50) / 10.0
+                if diverged else 0.0,
+                "energy_total_j": 900.0 + k + p,
+                "goal_met": (k + p) % 7 != 0,
+                "shape_distance": ((k + p) % 10) / 100.0,
+                "first_divergence_did": k + p if diverged else None,
+            })
+
+    def fold():
+        matrix = FleetMatrix("bench", {}, {}, devices, rows)
+        return len(matrix.document())
+
+    seconds, document_bytes = _best_of(
+        fold, max(repeats, _MIN_CHEAP_REPEATS))
+    return {
+        "seconds": seconds,
+        "rows": len(rows),
+        "rows_per_s": len(rows) / seconds if seconds else 0.0,
+        "document_bytes": document_bytes,
+    }
+
+
 _BENCHES = {
     "calibration": bench_calibration,
     "engine_events": bench_engine_events,
@@ -438,6 +522,8 @@ _BENCHES = {
     "fork_branch": bench_fork_branch,
     "cow_capture_scaling": bench_cow_capture_scaling,
     "fork_lookahead": bench_fork_lookahead,
+    "calibrator_fit": bench_calibrator_fit,
+    "fleet_matrix_fold": bench_fleet_matrix_fold,
 }
 
 BENCH_NAMES = tuple(_BENCHES)
@@ -602,6 +688,14 @@ def _detail(name, metrics):
     if name == "fork_lookahead":
         return (f"{metrics['branches']} branches, "
                 f"{metrics['branches_per_s']:,.0f}/s")
+    if name == "calibrator_fit":
+        return (f"{metrics['fits']} fits over {metrics['readings']} "
+                f"readings, {metrics['fits_per_s']:,.0f} fits/s, "
+                f"max err {metrics['max_error']:.2%}")
+    if name == "fleet_matrix_fold":
+        return (f"{metrics['rows']} rows -> "
+                f"{metrics['rows_per_s']:,.0f} rows/s "
+                f"({metrics['document_bytes']:,} bytes)")
     return ""
 
 

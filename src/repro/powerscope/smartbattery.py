@@ -18,6 +18,9 @@ in deployment would have cost (see ``benchmarks/test_ablation_gauge.py``).
 
 from __future__ import annotations
 
+import hashlib
+import math
+
 __all__ = ["SmartBatteryGauge", "GAUGE_OVERHEAD_W"]
 
 # Paper: "Several SmartBattery solutions can provide power measurements
@@ -42,10 +45,19 @@ class SmartBatteryGauge:
         Number of internal samples the gauge averages per reading.
     model_overhead:
         Charge the gauge's own draw to the machine.
+    noise_w:
+        Uniform measurement-noise amplitude: each reading is perturbed
+        by a deterministic draw from ``[-noise_w, +noise_w]`` before
+        quantization (0.0 = the ideal gauge).  Noise is a pure function
+        of ``(noise_seed, reading index)``, so replays and forks see
+        identical readings without any hidden RNG state.
+    noise_seed:
+        Seed for the noise stream; vary it per device.
     """
 
     def __init__(self, machine, period=1.0, resolution_w=0.25,
-                 averaging_window=4, model_overhead=False):
+                 averaging_window=4, model_overhead=False,
+                 noise_w=0.0, noise_seed=0):
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         if resolution_w <= 0:
@@ -54,12 +66,20 @@ class SmartBatteryGauge:
             raise ValueError(
                 f"averaging window must be >= 1, got {averaging_window}"
             )
+        if noise_w < 0:
+            raise ValueError(f"noise_w must be >= 0, got {noise_w}")
         self.machine = machine
         self.sim = machine.sim
         self.period = period
         self.resolution_w = resolution_w
         self.averaging_window = averaging_window
+        self.noise_w = noise_w
+        self.noise_seed = noise_seed
         self.subscribers = []
+        # Per-internal-sample hooks ``hook(now, watts)``: the calibrator
+        # folds nominal utilization at the gauge's own instants so its
+        # regressors see exactly the waveform the readings averaged.
+        self.sample_hooks = []
         self.readings = 0
         self.last_power = 0.0
         self._running = False
@@ -99,18 +119,36 @@ class SmartBatteryGauge:
 
     # -- internals --------------------------------------------------------
     def _quantize(self, watts):
-        steps = round(watts / self.resolution_w)
+        # Half-up, not banker's rounding: a mean landing exactly on a
+        # step boundary must quantize the same way every time, not
+        # flip-flop with the parity of the step index.
+        steps = math.floor(watts / self.resolution_w + 0.5)
         return steps * self.resolution_w
+
+    def _noise(self, index):
+        """Deterministic uniform draw in [-noise_w, +noise_w] per reading."""
+        if self.noise_w == 0.0:
+            return 0.0
+        key = f"{self.noise_seed}/{index}".encode("utf-8")
+        digest = hashlib.sha256(key).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return (2.0 * unit - 1.0) * self.noise_w
 
     def _sample(self, _time):
         if not self._running:
             return
         self.machine.advance()
-        self._window.append(self.machine.power)
+        power = self.machine.power
+        self._window.append(power)
+        for hook in self.sample_hooks:
+            hook(self.sim.now, power)
         if len(self._window) >= self.averaging_window:
             mean = sum(self._window) / len(self._window)
             self._window = []
-            reading = self._quantize(mean)
+            reading = self._quantize(mean + self._noise(self.readings))
+            # A charging (or noise-underflowed) interval reads as zero
+            # draw: the gauge reports consumption, never charge.
+            reading = max(0.0, reading)
             now = self.sim.now
             dt = now - self._last_publish
             self._last_publish = now

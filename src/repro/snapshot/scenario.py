@@ -182,7 +182,7 @@ class PulseScenario:
     """The assembled stack: machine + monitor + viceroy + controller."""
 
     def __init__(self, sim, machine, battery, monitor, viceroy, controller,
-                 apps, params):
+                 apps, params, gauge=None, calibrator=None):
         self.sim = sim
         self.machine = machine
         self.battery = battery
@@ -191,6 +191,8 @@ class PulseScenario:
         self.controller = controller
         self.apps = apps
         self.params = params
+        self.gauge = gauge
+        self.calibrator = calibrator
         self.failed_at = None
 
     def start(self):
@@ -269,6 +271,8 @@ class PulseScenario:
         lookahead = getattr(self.controller, "lookahead_summary", None)
         if lookahead is not None:
             record["lookahead"] = lookahead()
+        if self.calibrator is not None:
+            record["calibration"] = self.calibrator.summary()
         return record
 
 
@@ -279,6 +283,7 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
                          lookahead=False, horizon=12.0,
                          beam_width=0, beam_depth=2,
                          variable_fraction=None, constant_fraction=None,
+                         device=None, learned_model=False, drift=None,
                          tracer=None, metrics=None):
     """Build the pulse stack, never started, fully registered.
 
@@ -294,6 +299,19 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
     ``variable_fraction``/``constant_fraction`` override the trigger's
     hysteresis margins when given (``0.0``/``0.0`` disables hysteresis
     — the policy-matrix axis); ``None`` keeps the controller defaults.
+
+    ``device`` (a :class:`~repro.devices.DeviceProfile` or its dict)
+    makes the *physical* machine deviate from the nominal table —
+    component wattages scale by the profile's multipliers and the
+    battery by its capacity scale — while the controller keeps
+    believing the nominal ``initial_energy``; the gap is the
+    miscalibration under test.  ``learned_model`` replaces the
+    ground-truth monitor with a :class:`SmartBatteryGauge` +
+    :class:`OnlineCalibrator` feed (the controller sees only what the
+    learned model predicts).  ``drift`` (``"AT:FACTOR"`` or
+    ``(at, factor)``) scales the real wattages mid-run.  All three are
+    recorded in the builder params only when set, so default payloads,
+    snapshot keys, and goldens are unchanged.
     """
     params = {
         "goal_seconds": goal_seconds,
@@ -321,27 +339,84 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
     if constant_fraction is not None:
         params["constant_fraction"] = constant_fraction
         hysteresis["constant_fraction"] = constant_fraction
+    profile = None
+    if device is not None:
+        from repro.devices.profile import DeviceProfile
+
+        profile = (device if isinstance(device, DeviceProfile)
+                   else DeviceProfile.from_dict(device))
+        params["device"] = profile.to_dict()
+    if learned_model:
+        if lookahead or beam_width:
+            raise ValueError(
+                "learned_model does not combine with lookahead: the "
+                "gauge/calibrator stack is not snapshot-capable"
+            )
+        params["learned_model"] = True
+    drift_spec = None
+    if drift is not None:
+        if lookahead or beam_width:
+            raise ValueError(
+                "drift does not combine with lookahead: the scheduled "
+                "drift event is not snapshot-claimable"
+            )
+        from repro.devices.calibrate import parse_drift
+
+        drift_spec = parse_drift(drift)
+        params["drift"] = list(drift_spec)
     metrics = metrics if metrics is not None else MetricsRegistry()
     sim = Simulator(tracer=tracer)
-    battery = Battery(initial_energy)
-    machine = Machine(sim, battery, metrics=metrics)
-    machine.attach(PowerComponent("platform", {"on": PLATFORM_WATTS}, "on"))
+    battery_scale = profile.battery_scale if profile is not None else 1.0
+    battery = Battery(initial_energy * battery_scale)
+    machine = Machine(sim, battery, metrics=metrics, profile=profile)
 
+    # Nominal (believed) tables, held apart from the attached
+    # components: Machine.attach rescales the component's own states
+    # under a device profile, and the calibrator must regress against
+    # what the controller *believes*, not against reality.
+    platform_table = {"on": PLATFORM_WATTS}
     codec_levels = [("full", 4.2), ("reduced", 3.0), ("half", 2.1),
                     ("min", 1.3)]
     radio_levels = [("fast", 2.6), ("slow", 1.7), ("trickle", 1.0)]
-    codec = machine.attach(PowerComponent(
-        "codec", dict({"idle": 0.35}, **dict(codec_levels)), "idle"
-    ))
-    radio = machine.attach(PowerComponent(
-        "radio", dict({"idle": 0.18}, **dict(radio_levels)), "idle"
-    ))
+    codec_table = dict({"idle": 0.35}, **dict(codec_levels))
+    radio_table = dict({"idle": 0.18}, **dict(radio_levels))
+
+    machine.attach(PowerComponent("platform", platform_table, "on"))
+    codec = machine.attach(PowerComponent("codec", codec_table, "idle"))
+    radio = machine.attach(PowerComponent("radio", radio_table, "idle"))
     viewer = PulsedApp(sim, machine, "viewer", codec, codec_levels,
                        priority=2, period=4.0, duty=0.6, offset=0.0)
     sync = PulsedApp(sim, machine, "sync", radio, radio_levels,
                      priority=1, period=6.0, duty=0.5, offset=1.0)
 
-    monitor = OnlinePowerMonitor(machine, period=sample_period)
+    gauge = None
+    calibrator = None
+    if learned_model:
+        from repro.devices.calibrate import (CalibratedPowerFeed,
+                                             OnlineCalibrator)
+        from repro.powerscope.smartbattery import SmartBatteryGauge
+
+        gauge = SmartBatteryGauge(
+            machine,
+            period=profile.gauge_period if profile else 1.0,
+            resolution_w=profile.gauge_resolution_w if profile else 0.25,
+            noise_w=profile.gauge_noise_w if profile else 0.0,
+            noise_seed=profile.device_id if profile else 0,
+        )
+        calibrator = OnlineCalibrator(
+            machine, gauge,
+            nominal={"platform": platform_table, "codec": codec_table,
+                     "radio": radio_table},
+            tracer=tracer, metrics=metrics,
+        )
+        monitor = CalibratedPowerFeed(calibrator)
+    else:
+        monitor = OnlinePowerMonitor(machine, period=sample_period)
+    if drift_spec is not None:
+        from repro.devices.calibrate import schedule_drift
+
+        schedule_drift(sim, machine, drift_spec[0], drift_spec[1],
+                       tracer=tracer)
     viceroy = Viceroy(sim, machine=machine, metrics=metrics)
     viceroy.register_application(viewer)
     viceroy.register_application(sync)
@@ -379,14 +454,19 @@ def build_pulse_scenario(goal_seconds=DEFAULT_GOAL_SECONDS,
 
     sim.register_snapshottable("machine", machine)
     sim.register_snapshottable("battery", battery)
-    sim.register_snapshottable("monitor", monitor)
+    if not learned_model:
+        # The gauge/calibrator feed is not snapshot-capable (and
+        # learned_model excludes lookahead); the ground-truth monitor
+        # keeps its snapshot slot on every other build.
+        sim.register_snapshottable("monitor", monitor)
     sim.register_snapshottable("viceroy", viceroy)
     sim.register_snapshottable("controller", controller)
     sim.register_snapshottable("app.viewer", viewer)
     sim.register_snapshottable("app.sync", sync)
     sim.snapshot_builder = (BUILDER_PATH, params)
     return PulseScenario(sim, machine, battery, monitor, viceroy,
-                         controller, [viewer, sync], params)
+                         controller, [viewer, sync], params,
+                         gauge=gauge, calibrator=calibrator)
 
 
 def run_pulse_goal(**params):

@@ -181,6 +181,52 @@ def run_matrix_scenario(jobs=1, cache=None):
 
 
 # ----------------------------------------------------------------------
+# Fleet-matrix golden: per-device x per-policy robustness over a
+# generated heterogeneous fleet
+# ----------------------------------------------------------------------
+FLEET_MATRIX_GOLDEN = "fleet-matrix"
+#: Fleet sizing pinned by the acceptance criterion: 4 generated
+#: devices at seed 7, the default policy grid, on the same short
+#: mid-bracket scenario the policy matrix uses.
+FLEET_SIZE = 4
+FLEET_SEED = 7
+FLEET_CANDIDATES = (
+    "hysteresis=on,lookahead=off",
+    "hysteresis=off,lookahead=off",
+    "hysteresis=on,lookahead=on",
+    "hysteresis=off,lookahead=on",
+)
+FLEET_SCENARIO = {
+    "goal_seconds": MATRIX_GOAL_SECONDS,
+    "initial_energy": MATRIX_ENERGY_J,
+}
+
+
+def fleet_matrix_golden_path():
+    return os.path.join(GOLDEN_DIR, f"{FLEET_MATRIX_GOLDEN}.json")
+
+
+def fleet_matrix_campaign_spec():
+    """The pinned fleet-matrix campaign the golden is blessed from."""
+    from repro.devices import fleet_matrix_campaign, generate_fleet
+
+    return fleet_matrix_campaign(
+        generate_fleet(FLEET_SIZE, FLEET_SEED), FLEET_CANDIDATES,
+        baseline={}, scenario=dict(FLEET_SCENARIO),
+        name=FLEET_MATRIX_GOLDEN,
+    )
+
+
+def run_fleet_matrix_scenario(jobs=1, cache=None):
+    """Run the pinned fleet campaign; return the ``FleetMatrix``."""
+    from repro.devices import fleet_from_result
+    from repro.fleet.runner import FleetRunner
+
+    runner = FleetRunner(jobs=jobs, cache=cache)
+    return fleet_from_result(runner.run(fleet_matrix_campaign_spec()))
+
+
+# ----------------------------------------------------------------------
 # Campaign golden: task ordering + per-task retry counts
 # ----------------------------------------------------------------------
 #: Filename (without extension) of the campaign outcome golden.

@@ -1,0 +1,188 @@
+"""Device profiles: deterministic fleets, loaders, and machine scaling."""
+
+import pytest
+
+from repro.devices import (
+    DeviceProfile,
+    generate_device,
+    generate_fleet,
+    load_fleet,
+    write_fleet,
+)
+from repro.devices.profile import (
+    BATTERY_SCALE_RANGE,
+    GAUGE_NOISE_RANGE,
+    GAUGE_PERIOD_RANGE,
+    GAUGE_RESOLUTION_RANGE,
+    MULTIPLIER_RANGE,
+)
+
+
+# ----------------------------------------------------------------------
+# the descriptor itself
+# ----------------------------------------------------------------------
+def test_profile_defaults_are_nominal():
+    profile = DeviceProfile("d0")
+    assert profile.multiplier("display") == 1.0
+    assert profile.scale("display", 4.54) == 4.54
+    assert profile.battery_scale == 1.0
+
+
+def test_profile_round_trips_through_dict():
+    profile = DeviceProfile("d0", multipliers={"cpu": 1.1, "disk": 0.9},
+                            battery_scale=0.95, gauge_period=0.5,
+                            gauge_resolution_w=0.1, gauge_noise_w=0.05)
+    clone = DeviceProfile.from_dict(profile.to_dict())
+    assert clone.to_dict() == profile.to_dict()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"device_id": ""},
+    {"device_id": "d", "battery_scale": 0.0},
+    {"device_id": "d", "gauge_period": 0.0},
+    {"device_id": "d", "gauge_resolution_w": 0.0},
+    {"device_id": "d", "gauge_noise_w": -0.1},
+    {"device_id": "d", "multipliers": {"cpu": 0.0}},
+])
+def test_profile_validation(kwargs):
+    with pytest.raises(ValueError):
+        DeviceProfile(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# deterministic generation
+# ----------------------------------------------------------------------
+def test_generate_fleet_is_byte_stable():
+    a = [d.to_dict() for d in generate_fleet(4, 7)]
+    b = [d.to_dict() for d in generate_fleet(4, 7)]
+    assert a == b
+    assert [d["device_id"] for d in a] == ["dev00", "dev01", "dev02",
+                                           "dev03"]
+
+
+def test_generate_fleet_prefix_property():
+    """A larger fleet extends a smaller one at the same seed — device
+    parameters depend only on (seed, device_id)."""
+    small = [d.to_dict() for d in generate_fleet(2, 7)]
+    large = [d.to_dict() for d in generate_fleet(6, 7)]
+    assert large[:2] == small
+
+
+def test_different_seeds_differ():
+    assert (generate_device(1, "dev00").to_dict()
+            != generate_device(2, "dev00").to_dict())
+
+
+def test_generated_parameters_stay_in_range():
+    for device in generate_fleet(16, 3):
+        for factor in device.multipliers.values():
+            assert MULTIPLIER_RANGE[0] <= factor <= MULTIPLIER_RANGE[1]
+        assert (BATTERY_SCALE_RANGE[0] <= device.battery_scale
+                <= BATTERY_SCALE_RANGE[1])
+        assert (GAUGE_PERIOD_RANGE[0] <= device.gauge_period
+                <= GAUGE_PERIOD_RANGE[1])
+        assert (GAUGE_RESOLUTION_RANGE[0] <= device.gauge_resolution_w
+                <= GAUGE_RESOLUTION_RANGE[1])
+        assert (GAUGE_NOISE_RANGE[0] <= device.gauge_noise_w
+                <= GAUGE_NOISE_RANGE[1])
+
+
+# ----------------------------------------------------------------------
+# fleet files
+# ----------------------------------------------------------------------
+def test_fleet_file_round_trip(tmp_path):
+    path = tmp_path / "fleet.json"
+    fleet = generate_fleet(4, 7)
+    write_fleet(fleet, path, fleet_seed=7)
+    loaded = load_fleet(path)
+    assert [d.to_dict() for d in loaded] == [d.to_dict() for d in fleet]
+
+
+def test_fleet_file_bytes_are_stable(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    write_fleet(generate_fleet(3, 9), a, fleet_seed=9)
+    write_fleet(generate_fleet(3, 9), b, fleet_seed=9)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_load_fleet_rejects_wrong_kind(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"kind": "something-else", "version": 1}')
+    with pytest.raises(ValueError):
+        load_fleet(path)
+
+
+def test_load_fleet_rejects_duplicate_ids(tmp_path):
+    path = tmp_path / "dup.json"
+    device = generate_device(1, "dev00")
+    write_fleet([device, device], path)
+    with pytest.raises(ValueError):
+        load_fleet(path)
+
+
+# ----------------------------------------------------------------------
+# machine integration
+# ----------------------------------------------------------------------
+def test_machine_attach_scales_component_tables():
+    from repro.hardware.battery import ExternalSupply
+    from repro.hardware.component import PowerComponent
+    from repro.hardware.machine import Machine
+    from repro.sim import Simulator
+
+    profile = DeviceProfile("d0", multipliers={"widget": 1.5})
+    machine = Machine(Simulator(), ExternalSupply(), profile=profile)
+    machine.attach(PowerComponent("widget", {"on": 2.0, "off": 0.5}, "on"))
+    machine.attach(PowerComponent("other", {"on": 1.0}, "on"))
+    assert machine["widget"].states == {"on": 3.0, "off": 0.75}
+    assert machine["other"].states == {"on": 1.0}
+    assert machine.power == pytest.approx(4.0)
+
+
+def test_thinkpad_build_accepts_profile():
+    from repro.hardware.thinkpad560x import DISPLAY_BRIGHT_W, build_machine
+    from repro.sim import Simulator
+
+    profile = DeviceProfile("d0", multipliers={"display": 1.1})
+    machine = build_machine(Simulator(), profile=profile)
+    assert machine["display"].power == pytest.approx(DISPLAY_BRIGHT_W * 1.1)
+    nominal = build_machine(Simulator())
+    assert nominal["display"].power == pytest.approx(DISPLAY_BRIGHT_W)
+
+
+def test_pulse_scenario_device_param_recorded_only_when_set():
+    from repro.snapshot.scenario import build_pulse_scenario
+
+    plain = build_pulse_scenario(goal_seconds=60.0, initial_energy=600.0)
+    assert "device" not in plain.params
+    assert "learned_model" not in plain.params
+    assert "drift" not in plain.params
+
+    profile = generate_device(7, "dev00")
+    scenario = build_pulse_scenario(goal_seconds=60.0, initial_energy=600.0,
+                                    device=profile)
+    assert scenario.params["device"] == profile.to_dict()
+    # Physical battery scales; the controller's belief does not.
+    assert scenario.battery.residual == pytest.approx(
+        600.0 * profile.battery_scale)
+    assert scenario.controller.supply.initial == pytest.approx(600.0)
+
+
+def test_pulse_scenario_device_changes_outcome():
+    from repro.snapshot.scenario import run_pulse_goal
+
+    nominal = run_pulse_goal(goal_seconds=120.0, initial_energy=1000.0)
+    hot = run_pulse_goal(
+        goal_seconds=120.0, initial_energy=1000.0,
+        device=DeviceProfile("hot", multipliers={"platform": 1.2},
+                             battery_scale=0.85),
+    )
+    assert hot["energy_total_j"] != nominal["energy_total_j"]
+
+
+def test_learned_model_rejects_lookahead():
+    from repro.snapshot.scenario import build_pulse_scenario
+
+    with pytest.raises(ValueError):
+        build_pulse_scenario(learned_model=True, lookahead=True)
+    with pytest.raises(ValueError):
+        build_pulse_scenario(drift="10:1.5", lookahead=True)

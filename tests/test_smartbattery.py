@@ -89,9 +89,88 @@ class TestGaugeBasics:
         with pytest.raises(ValueError):
             SmartBatteryGauge(machine, period=0.0)
         with pytest.raises(ValueError):
+            SmartBatteryGauge(machine, period=-1.0)
+        with pytest.raises(ValueError):
             SmartBatteryGauge(machine, resolution_w=0.0)
         with pytest.raises(ValueError):
             SmartBatteryGauge(machine, averaging_window=0)
+        with pytest.raises(ValueError):
+            SmartBatteryGauge(machine, noise_w=-0.01)
+
+
+class TestGaugeEdgeCases:
+    def test_quantization_boundary_is_half_up(self):
+        """A mean landing exactly on a step boundary (8.125 W at 0.25 W
+        resolution = 32.5 steps) must round half-up to 8.25, not bounce
+        to 8.0 with banker's rounding."""
+        sim = Simulator()
+        machine = flat_machine(sim, watts=8.125)
+        gauge = SmartBatteryGauge(machine, resolution_w=0.25)
+        got = []
+        gauge.subscribe(lambda t, w, dt: got.append(w))
+        gauge.start()
+        sim.run(until=3.0)
+        assert got == pytest.approx([8.25, 8.25, 8.25])
+
+    def test_quantize_is_stable_across_step_parity(self):
+        """Every exact boundary rounds the same direction: no
+        flip-flopping with the parity of the step index."""
+        sim = Simulator()
+        machine = flat_machine(sim)
+        gauge = SmartBatteryGauge(machine, resolution_w=0.25)
+        assert gauge._quantize(8.125) == pytest.approx(8.25)   # 32.5 steps
+        assert gauge._quantize(8.375) == pytest.approx(8.50)   # 33.5 steps
+        assert gauge._quantize(0.125) == pytest.approx(0.25)
+
+    def test_noise_is_deterministic_per_seed(self):
+        def readings(seed):
+            sim = Simulator()
+            machine = flat_machine(sim, watts=6.0)
+            gauge = SmartBatteryGauge(machine, resolution_w=0.01,
+                                      noise_w=0.5, noise_seed=seed)
+            got = []
+            gauge.subscribe(lambda t, w, dt: got.append(w))
+            gauge.start()
+            sim.run(until=8.0)
+            return got
+
+        first = readings("devA")
+        assert first == readings("devA")
+        assert first != readings("devB")
+        # The noise actually moves readings off the noiseless value.
+        assert any(w != pytest.approx(6.0) for w in first)
+
+    def test_noise_never_produces_negative_reading(self):
+        """A noise excursion below zero draw clamps to 0.0: the gauge
+        reports consumption, never charge."""
+        sim = Simulator()
+        machine = flat_machine(sim, watts=0.05)
+        gauge = SmartBatteryGauge(machine, resolution_w=0.01,
+                                  noise_w=1.0, noise_seed=3)
+        got = []
+        gauge.subscribe(lambda t, w, dt: got.append(w))
+        gauge.start()
+        sim.run(until=32.0)
+        assert got
+        assert all(w >= 0.0 for w in got)
+        assert any(w == 0.0 for w in got), (
+            "1 W noise over a 0.05 W draw never clamped — the clamp "
+            "path was not exercised"
+        )
+
+    def test_sample_hooks_fire_per_internal_sample(self):
+        sim = Simulator()
+        machine = flat_machine(sim, watts=8.0)
+        gauge = SmartBatteryGauge(machine, period=1.0, averaging_window=4)
+        samples = []
+        gauge.sample_hooks.append(lambda t, w: samples.append((t, w)))
+        published = []
+        gauge.subscribe(lambda t, w, dt: published.append(t))
+        gauge.start()
+        sim.run(until=2.0)
+        # 4 internal samples per published reading.
+        assert len(samples) == 4 * len(published) == 8
+        assert all(w == pytest.approx(8.0) for _t, w in samples)
 
 
 class TestGoalAdaptationOnGauge:
